@@ -1,0 +1,128 @@
+(* Benchmark & experiment harness.
+
+   Default: regenerate every table and figure of the paper (plus the
+   ablations) and print them.
+
+     dune exec bench/main.exe                # everything
+     dune exec bench/main.exe -- table2      # one experiment
+     dune exec bench/main.exe -- bechamel    # Bechamel timings of the
+                                             # regeneration of each table
+
+   Experiments: table2 table3 fig6 fig7 fig8 shadow validation counter btb
+   related dup size unroll sweep limits hwcost *)
+
+open Psb_eval
+module Hwcost = Psb_machine.Hwcost
+
+let h = lazy (Harness.create ())
+
+let experiments : (string * string * (Format.formatter -> unit)) list =
+  [
+    ( "table2",
+      "benchmark programs (lines, scalar cycles)",
+      fun ppf -> Experiments.pp_table2 ppf (Experiments.table2 (Lazy.force h)) );
+    ( "table3",
+      "prediction accuracy of successive branches",
+      fun ppf -> Experiments.pp_table3 ppf (Experiments.table3 (Lazy.force h)) );
+    ( "fig6",
+      "restricted speculative execution models",
+      fun ppf ->
+        Experiments.pp_speedups ~title:"Figure 6: restricted models" ppf
+          (Experiments.figure6 (Lazy.force h)) );
+    ( "fig7",
+      "predicating vs conventional speculative execution",
+      fun ppf ->
+        Experiments.pp_speedups ~title:"Figure 7: predicating models" ppf
+          (Experiments.figure7 (Lazy.force h)) );
+    ( "fig8",
+      "full-issue machines x speculation depth",
+      fun ppf -> Experiments.pp_figure8 ppf (Experiments.figure8 (Lazy.force h)) );
+    ( "related",
+      "the 2.2 related-work mechanism spectrum",
+      fun ppf ->
+        Experiments.pp_speedups ~title:"Related-work spectrum (2.2)" ppf
+          (Experiments.related_work (Lazy.force h)) );
+    ( "shadow",
+      "single vs infinite shadow registers (fn.1)",
+      fun ppf ->
+        Experiments.pp_shadow ppf (Experiments.shadow_ablation (Lazy.force h)) );
+    ( "validation",
+      "estimated vs machine-measured cycles",
+      fun ppf ->
+        Experiments.pp_validation ppf (Experiments.validation (Lazy.force h)) );
+    ( "counter",
+      "vector vs counter predicate representation (4.2.1)",
+      fun ppf ->
+        Experiments.pp_counter ppf (Experiments.counter_ablation (Lazy.force h)) );
+    ( "btb",
+      "region-transition penalty (BTB optimism)",
+      fun ppf -> Experiments.pp_btb ppf (Experiments.btb_ablation (Lazy.force h)) );
+    ( "dup",
+      "join duplication vs commit dependences (4.2.2)",
+      fun ppf -> Experiments.pp_dup ppf (Experiments.dup_ablation (Lazy.force h)) );
+    ( "size",
+      "static code growth per model",
+      fun ppf -> Experiments.pp_size ppf (Experiments.code_growth (Lazy.force h)) );
+    ( "unroll",
+      "loop unrolling on the 8-issue machine (future work)",
+      fun ppf ->
+        Experiments.pp_unroll ppf (Experiments.unroll_ablation (Lazy.force h)) );
+    ( "sweep",
+      "synthetic branch-predictability sweep",
+      fun ppf -> Experiments.pp_sweep ppf (Experiments.predictability_sweep ()) );
+    ( "limits",
+      "ILP limit study (block vs oracle, the paper's motivation)",
+      fun ppf -> Limits.pp ppf (Limits.analyze_suite ()) );
+    ( "hwcost",
+      "hardware cost model (4.2.1)",
+      fun ppf -> Hwcost.pp_report ppf (Hwcost.analyze Hwcost.default) );
+  ]
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, _, f) ->
+      f Format.std_formatter;
+      Format.printf "@."
+  | None ->
+      Format.printf "unknown experiment %s; available: %s@." name
+        (String.concat " " (List.map (fun (n, _, _) -> n) experiments))
+
+let run_all () =
+  List.iter
+    (fun (name, desc, f) ->
+      Format.printf "== %s: %s ==@." name desc;
+      f Format.std_formatter;
+      Format.printf "@.@.")
+    experiments
+
+(* Bechamel timings: one Test.make per table/figure, timing its full
+   regeneration against a null formatter. *)
+let run_bechamel () =
+  let open Bechamel in
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) ignore in
+  let tests =
+    List.map
+      (fun (name, _, f) -> Test.make ~name (Staged.stage (fun () -> f null_ppf)))
+      experiments
+  in
+  let test = Test.make_grouped ~name:"experiments" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Format.printf "%-40s %14.0f ns/run@." name est
+         | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_all ()
+  | [ _; "bechamel" ] -> run_bechamel ()
+  | _ :: names -> List.iter run_one names
+  | [] -> ()

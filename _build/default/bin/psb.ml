@@ -1,0 +1,403 @@
+(* psb — command-line front end for the predicated-state-buffering stack.
+
+   Subcommands:
+     list                   available workloads and models
+     run WORKLOAD           scalar reference run (cycles, output, profile)
+     compile WORKLOAD       compile and dump units/schedules/predicated code
+     sim WORKLOAD           compile and execute on the VLIW machine
+     speedup WORKLOAD       all models side by side
+     experiments [NAME..]   regenerate the paper's tables and figures *)
+
+open Cmdliner
+open Psb_isa
+open Psb_compiler
+open Psb_workloads
+module Machine_model = Psb_machine.Machine_model
+module Vliw_sim = Psb_machine.Vliw_sim
+module Pcode = Psb_machine.Pcode
+
+let workload_arg =
+  let wconv =
+    Arg.conv ~docv:"WORKLOAD"
+      ( (fun s ->
+          match Suite.find s with
+          | w -> Ok w
+          | exception Not_found ->
+              Error (`Msg ("unknown workload " ^ s ^ "; try `psb list`"))),
+        fun ppf (w : Dsl.t) -> Format.pp_print_string ppf w.Dsl.name )
+  in
+  Arg.(required & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
+
+let model_arg =
+  let mconv =
+    Arg.conv ~docv:"MODEL"
+      ( (fun s ->
+          match
+            List.find_opt
+              (fun (m : Model.t) -> m.Model.name = s)
+              (Model.trace_pred_counter :: Model.all)
+          with
+          | Some m -> Ok m
+          | None -> Error (`Msg ("unknown model " ^ s))),
+        Model.pp )
+  in
+  Arg.(
+    value
+    & opt mconv Model.region_pred
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Execution model (see `psb list`).")
+
+let issue_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "issue" ] ~docv:"N" ~doc:"Issue width (full-issue machine if not 4).")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run copy propagation, DCE and jump threading first.")
+
+let preoptimize flag program =
+  if flag then Transform.jump_thread (Transform.optimize program) else program
+
+let machine_of_issue issue =
+  if issue = 4 then Machine_model.base
+  else Machine_model.full_issue ~width:issue ~max_spec_conds:4
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "workloads:@.";
+    List.iter
+      (fun (w : Dsl.t) ->
+        Format.printf "  %-10s %s@." w.Dsl.name w.Dsl.description)
+      Suite.all;
+    Format.printf "@.models:@.";
+    List.iter
+      (fun (m : Model.t) ->
+        Format.printf "  %-14s scope=%s%s%s@." m.Model.name
+          (match m.Model.scope with Model.Trace -> "trace" | Model.Region -> "region")
+          (if m.Model.branch_elim then ", predicated" else ", branches kept")
+          (if m.Model.executable then ", executable" else ", estimated"))
+      Model.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and execution models")
+    Term.(const run $ const ())
+
+(* ----- run ----- *)
+
+let run_cmd =
+  let run (w : Dsl.t) =
+    let res = Interp.run ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ()) w.Dsl.program in
+    Format.printf "workload:   %s@." w.Dsl.name;
+    Format.printf "outcome:    %a@." Interp.pp_outcome res.Interp.outcome;
+    Format.printf "cycles:     %d@." res.Interp.cycles;
+    Format.printf "instrs:     %d@." res.Interp.dyn_instrs;
+    Format.printf "output:     %s@."
+      (String.concat " " (List.map string_of_int res.Interp.output));
+    let t = Trace.of_result w.Dsl.program res in
+    Format.printf "branches:   %d (%.1f%% predicted by profile)@."
+      (Trace.dynamic_branches t)
+      (100. *. Trace.prediction_accuracy t)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Scalar reference run of a workload")
+    Term.(const run $ workload_arg)
+
+(* ----- compile ----- *)
+
+let compile_cmd =
+  let run (w : Dsl.t) model issue dump_code =
+    let machine = machine_of_issue issue in
+    let _, profile =
+      Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let compiled = Driver.compile ~model ~machine ~profile w.Dsl.program in
+    Format.printf "model %s on %a@." model.Model.name Machine_model.pp machine;
+    Format.printf "%d units, %d static slots@.@."
+      (Label.Map.cardinal compiled.Driver.units)
+      (Driver.code_size compiled);
+    Label.Map.iter
+      (fun _ (s : Sched.t) -> Format.printf "%a@." Sched.pp s)
+      compiled.Driver.schedules;
+    match (dump_code, compiled.Driver.pcode) with
+    | true, Some code -> Format.printf "@.%a@." Pcode.pp code
+    | true, None -> Format.printf "@.(model is not executable: no VLIW code)@."
+    | false, _ -> ()
+  in
+  let dump =
+    Arg.(value & flag & info [ "code" ] ~doc:"Also dump the predicated VLIW code.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a workload and dump units and schedules")
+    Term.(const run $ workload_arg $ model_arg $ issue_arg $ dump)
+
+(* ----- sim ----- *)
+
+let sim_cmd =
+  let run (w : Dsl.t) model issue opt =
+    let machine = machine_of_issue issue in
+    let program = preoptimize opt w.Dsl.program in
+    let scalar, profile =
+      Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let compiled = Driver.compile ~model ~machine ~profile program in
+    let res = Driver.run_vliw compiled ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ()) in
+    let s = res.Vliw_sim.stats in
+    Format.printf "workload:      %s  (model %s)@." w.Dsl.name model.Model.name;
+    Format.printf "outcome:       %a@." Interp.pp_outcome res.Vliw_sim.outcome;
+    Format.printf "cycles:        %d (scalar %d, speedup %.2fx)@."
+      res.Vliw_sim.cycles scalar.Interp.cycles
+      (float_of_int scalar.Interp.cycles /. float_of_int res.Vliw_sim.cycles);
+    Format.printf "bundles:       %d (%.2f ops/cycle)@." s.Vliw_sim.dyn_bundles
+      (float_of_int s.Vliw_sim.dyn_ops /. float_of_int (max 1 res.Vliw_sim.cycles));
+    Format.printf "speculative:   %d issued, %d commits, %d squashes@."
+      s.Vliw_sim.spec_ops s.Vliw_sim.commits s.Vliw_sim.squashes;
+    Format.printf "exceptions:    %d handled, %d recoveries (%d cycles)@."
+      res.Vliw_sim.faults_handled s.Vliw_sim.recoveries s.Vliw_sim.recovery_cycles;
+    Format.printf "shadow:        %d conflicts, %d stall cycles@."
+      s.Vliw_sim.shadow_conflicts s.Vliw_sim.conflict_stall_cycles;
+    Format.printf "store buffer:  max occupancy %d@." s.Vliw_sim.sb_max_occupancy;
+    Format.printf "output:        %s@."
+      (String.concat " " (List.map string_of_int res.Vliw_sim.output));
+    if res.Vliw_sim.output <> scalar.Interp.output then begin
+      Format.printf "ERROR: output differs from the scalar reference!@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Execute a workload on the predicating VLIW machine")
+    Term.(const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg)
+
+(* ----- trace: machine event timeline ----- *)
+
+let trace_cmd =
+  let run (w : Dsl.t) model limit =
+    let machine = Machine_model.base in
+    let _, profile =
+      Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let compiled = Driver.compile ~model ~machine ~profile w.Dsl.program in
+    let shown = ref 0 in
+    let on_event cycle ev =
+      if !shown < limit then begin
+        Format.printf "cycle %5d  %a@." cycle Vliw_sim.pp_event ev;
+        incr shown;
+        if !shown = limit then Format.printf "... (truncated; use -n)@."
+      end
+    in
+    match compiled.Driver.pcode with
+    | None -> Format.printf "model %s is not executable@." model.Model.name
+    | Some code ->
+        let res =
+          Vliw_sim.run ~on_event ~model:machine ~regs:w.Dsl.regs
+            ~mem:(w.Dsl.make_mem ()) code
+        in
+        Format.printf "%a in %d cycles@." Interp.pp_outcome res.Vliw_sim.outcome
+          res.Vliw_sim.cycles
+  in
+  let limit =
+    Arg.(value & opt int 60 & info [ "n" ] ~docv:"N" ~doc:"Events to show.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Show the machine's commit/squash/recovery timeline for a workload")
+    Term.(const run $ workload_arg $ model_arg $ limit)
+
+(* ----- speedup ----- *)
+
+let speedup_cmd =
+  let run (w : Dsl.t) issue =
+    let machine = machine_of_issue issue in
+    let scalar, profile =
+      Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    Format.printf "%s: scalar %d cycles@." w.Dsl.name scalar.Interp.cycles;
+    List.iter
+      (fun (m : Model.t) ->
+        let compiled = Driver.compile ~model:m ~machine ~profile w.Dsl.program in
+        let est =
+          Driver.estimate_cycles compiled w.Dsl.program
+            ~block_trace:scalar.Interp.block_trace
+        in
+        let measured =
+          if m.Model.executable then
+            let r =
+              Driver.run_vliw compiled ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+            in
+            Format.asprintf " (measured %d, %.2fx)" r.Vliw_sim.cycles
+              (float_of_int scalar.Interp.cycles /. float_of_int r.Vliw_sim.cycles)
+          else ""
+        in
+        Format.printf "  %-14s %8d cycles  %.2fx%s@." m.Model.name est
+          (float_of_int scalar.Interp.cycles /. float_of_int est)
+          measured)
+      Model.all
+  in
+  Cmd.v
+    (Cmd.info "speedup" ~doc:"Compare all execution models on one workload")
+    Term.(const run $ workload_arg $ issue_arg)
+
+(* ----- exec: run an assembly file ----- *)
+
+let exec_cmd =
+  let run path model =
+    let text =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Asm.parse text with
+    | Error m ->
+        Format.printf "parse error: %s@." m;
+        exit 1
+    | Ok program ->
+        let mem () = Memory.create ~size:4096 in
+        let scalar, profile = Driver.profile_of program ~regs:[] ~mem:(mem ()) in
+        Format.printf "scalar: %a, %d cycles, output %s@." Interp.pp_outcome
+          scalar.Interp.outcome scalar.Interp.cycles
+          (String.concat " " (List.map string_of_int scalar.Interp.output));
+        if model.Model.executable then begin
+          let compiled =
+            Driver.compile ~model ~machine:Machine_model.base ~profile program
+          in
+          let vliw = Driver.run_vliw compiled ~regs:[] ~mem:(mem ()) in
+          Format.printf "%s: %a, %d cycles (%.2fx), output %s@."
+            model.Model.name Interp.pp_outcome vliw.Vliw_sim.outcome
+            vliw.Vliw_sim.cycles
+            (float_of_int scalar.Interp.cycles /. float_of_int vliw.Vliw_sim.cycles)
+            (String.concat " " (List.map string_of_int vliw.Vliw_sim.output))
+        end
+        else Format.printf "(model %s is estimate-only)@." model.Model.name
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.psb")
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Assemble and run a .psb file (scalar + predicated)")
+    Term.(const run $ path $ model_arg)
+
+(* ----- pexec: run a predicated-code file on the machine ----- *)
+
+let pexec_cmd =
+  let run path =
+    let text =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Psb_machine.Pcode_text.parse text with
+    | Error m ->
+        Format.printf "parse error: %s@." m;
+        exit 1
+    | Ok code ->
+        let mem = Memory.create ~size:4096 in
+        (* modest default inputs so Figure-4-style files have data *)
+        Memory.poke mem 40 5;
+        Memory.poke mem 6 100;
+        Memory.poke mem 64 55;
+        let regs =
+          [
+            (Psb_isa.Reg.make 2, 40); (Psb_isa.Reg.make 4, 10);
+            (Psb_isa.Reg.make 5, 7); (Psb_isa.Reg.make 7, 99);
+            (Psb_isa.Reg.make 8, 64);
+          ]
+        in
+        let events = ref [] in
+        let on_event c e = events := (c, e) :: !events in
+        let res = Vliw_sim.run ~on_event ~model:Machine_model.base ~regs ~mem code in
+        Format.printf "outcome: %a in %d cycles, output %s@." Interp.pp_outcome
+          res.Vliw_sim.outcome res.Vliw_sim.cycles
+          (String.concat " " (List.map string_of_int res.Vliw_sim.output));
+        Format.printf "timeline:@.";
+        List.iter
+          (fun (c, e) -> Format.printf "  cycle %2d  %a@." c Vliw_sim.pp_event e)
+          (List.rev !events)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ppsb") in
+  Cmd.v
+    (Cmd.info "pexec"
+       ~doc:"Run a predicated-code (.ppsb) file on the machine, with its \
+             commit/squash timeline")
+    Term.(const run $ path)
+
+(* ----- experiments ----- *)
+
+let experiments_cmd =
+  let run names =
+    let argv =
+      match names with [] -> [| "bench" |] | l -> Array.of_list ("bench" :: l)
+    in
+    ignore argv;
+    let h = Psb_eval.Harness.create () in
+    let print title pp v =
+      Format.printf "== %s ==@.%a@.@." title pp v
+    in
+    let all = names = [] in
+    let want n = all || List.mem n names in
+    if want "table2" then
+      print "table2" Psb_eval.Experiments.pp_table2 (Psb_eval.Experiments.table2 h);
+    if want "table3" then
+      print "table3" Psb_eval.Experiments.pp_table3 (Psb_eval.Experiments.table3 h);
+    if want "fig6" then
+      print "fig6"
+        (Psb_eval.Experiments.pp_speedups ~title:"Figure 6: restricted models")
+        (Psb_eval.Experiments.figure6 h);
+    if want "fig7" then
+      print "fig7"
+        (Psb_eval.Experiments.pp_speedups ~title:"Figure 7: predicating models")
+        (Psb_eval.Experiments.figure7 h);
+    if want "fig8" then
+      print "fig8" Psb_eval.Experiments.pp_figure8 (Psb_eval.Experiments.figure8 h);
+    if want "shadow" then
+      print "shadow" Psb_eval.Experiments.pp_shadow
+        (Psb_eval.Experiments.shadow_ablation h);
+    if want "validation" then
+      print "validation" Psb_eval.Experiments.pp_validation
+        (Psb_eval.Experiments.validation h);
+    if want "related" then
+      print "related"
+        (Psb_eval.Experiments.pp_speedups ~title:"Related-work spectrum (2.2)")
+        (Psb_eval.Experiments.related_work h);
+    if want "counter" then
+      print "counter" Psb_eval.Experiments.pp_counter
+        (Psb_eval.Experiments.counter_ablation h);
+    if want "btb" then
+      print "btb" Psb_eval.Experiments.pp_btb (Psb_eval.Experiments.btb_ablation h);
+    if want "dup" then
+      print "dup" Psb_eval.Experiments.pp_dup (Psb_eval.Experiments.dup_ablation h);
+    if want "size" then
+      print "size" Psb_eval.Experiments.pp_size
+        (Psb_eval.Experiments.code_growth h);
+    if want "unroll" then
+      print "unroll" Psb_eval.Experiments.pp_unroll
+        (Psb_eval.Experiments.unroll_ablation h);
+    if want "limits" then
+      print "limits" Psb_eval.Limits.pp (Psb_eval.Limits.analyze_suite ());
+    if want "sweep" then
+      print "sweep" Psb_eval.Experiments.pp_sweep
+        (Psb_eval.Experiments.predictability_sweep ());
+    if want "hwcost" then
+      print "hwcost" Psb_machine.Hwcost.pp_report
+        (Psb_machine.Hwcost.analyze Psb_machine.Hwcost.default)
+  in
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (all, or by name)")
+    Term.(const run $ names)
+
+let () =
+  let doc = "Unconstrained speculative execution with predicated state buffering" in
+  let info = Cmd.info "psb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; compile_cmd; sim_cmd; speedup_cmd; trace_cmd;
+            exec_cmd; pexec_cmd; experiments_cmd;
+          ]))

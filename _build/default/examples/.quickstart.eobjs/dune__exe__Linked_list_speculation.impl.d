@@ -1,0 +1,1 @@
+examples/linked_list_speculation.ml: Format Interp List Memory Opcode Program Psb_compiler Psb_isa Psb_machine Psb_workloads String

@@ -1,0 +1,1 @@
+examples/machine_scaling.ml: Dsl Format Interp List Psb_compiler Psb_isa Psb_machine Psb_workloads Suite

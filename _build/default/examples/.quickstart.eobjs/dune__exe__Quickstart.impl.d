@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Interp Label List Memory Opcode Program Psb_compiler Psb_isa Psb_machine Psb_workloads String

@@ -1,0 +1,1 @@
+examples/region_anatomy.ml: Format Interp Label Memory Opcode Program Psb_cfg Psb_compiler Psb_isa Psb_machine Psb_workloads

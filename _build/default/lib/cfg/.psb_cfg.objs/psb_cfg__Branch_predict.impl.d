@@ -1,0 +1,1 @@
+lib/cfg/branch_predict.ml: Cfg Dominance Instr Label List Option Program Psb_isa Trace

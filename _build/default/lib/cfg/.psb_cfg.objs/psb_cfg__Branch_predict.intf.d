@@ -1,0 +1,1 @@
+lib/cfg/branch_predict.mli: Cfg Dominance Label Psb_isa Trace

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Hashtbl Instr Label List Option Program Psb_isa

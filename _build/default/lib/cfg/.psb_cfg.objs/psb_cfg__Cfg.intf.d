@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Label Program Psb_isa

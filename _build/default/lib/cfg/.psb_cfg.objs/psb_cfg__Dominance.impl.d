@@ -1,0 +1,1 @@
+lib/cfg/dominance.ml: Cfg Label List Psb_isa

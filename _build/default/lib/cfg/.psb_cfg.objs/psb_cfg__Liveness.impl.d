@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Cfg Instr Label List Option Program Psb_isa Reg

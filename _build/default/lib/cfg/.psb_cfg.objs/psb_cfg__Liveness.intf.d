@@ -1,0 +1,1 @@
+lib/cfg/liveness.mli: Cfg Label Psb_isa Reg

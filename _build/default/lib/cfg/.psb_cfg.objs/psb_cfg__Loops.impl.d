@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Cfg Dominance Hashtbl Label List Option Psb_isa

@@ -1,0 +1,54 @@
+open Psb_isa
+
+type source =
+  | Profile of Trace.t
+  | Heuristic of Dominance.t
+
+type t = { cfg : Cfg.t; source : source }
+
+let of_trace cfg trace = { cfg; source = Profile trace }
+let heuristic cfg dom = { cfg; source = Heuristic dom }
+
+let branch_of t l =
+  match (Cfg.block t.cfg l).Program.term with
+  | Instr.Br { src; if_true; if_false } -> Some (src, if_true, if_false)
+  | Instr.Jmp _ | Instr.Halt -> None
+
+let predict t l =
+  match branch_of t l with
+  | None -> true
+  | Some (_, if_true, _) -> (
+      match t.source with
+      | Profile trace -> Trace.predict trace l
+      | Heuristic dom ->
+          (* Backward-taken heuristic: predict the successor that is a loop
+             head dominating this block (a back edge). *)
+          Dominance.dominates dom if_true l)
+
+let confidence t l =
+  match branch_of t l with
+  | None -> 1.0
+  | Some _ -> (
+      match t.source with
+      | Profile trace -> (
+          match Trace.taken_fraction trace l with
+          | Some f -> if predict t l then f else 1.0 -. f
+          | None -> 0.5)
+      | Heuristic _ -> 0.6)
+
+let edge_probability t src dst =
+  match branch_of t src with
+  | None ->
+      if List.exists (Label.equal dst) (Cfg.succs t.cfg src) then 1.0 else 0.0
+  | Some (_, if_true, if_false) ->
+      let p_true =
+        match t.source with
+        | Profile trace ->
+            Option.value (Trace.taken_fraction trace src) ~default:0.5
+        | Heuristic _ -> if predict t src then 0.6 else 0.4
+      in
+      (* A branch can target the same label on both arms. *)
+      let p = ref 0.0 in
+      if Label.equal dst if_true then p := !p +. p_true;
+      if Label.equal dst if_false then p := !p +. (1.0 -. p_true);
+      !p

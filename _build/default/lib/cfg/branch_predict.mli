@@ -1,0 +1,25 @@
+(** Static branch prediction.
+
+    The paper drives trace formation, region growth and the boosting model
+    with static (profile-based) prediction. With a profile we predict the
+    majority direction; without one we fall back to the classic
+    backward-taken/forward-not-taken heuristic. *)
+
+open Psb_isa
+
+type t
+
+val of_trace : Cfg.t -> Trace.t -> t
+val heuristic : Cfg.t -> Dominance.t -> t
+
+val predict : t -> Label.t -> bool
+(** Predicted direction of the branch terminating block [l]
+    ([true] = [if_true]). Blocks without a branch predict [true]. *)
+
+val confidence : t -> Label.t -> float
+(** Probability that the prediction is correct ([0.5] if unknown,
+    [1.0] for non-branches). *)
+
+val edge_probability : t -> Label.t -> Label.t -> float
+(** [edge_probability t src dst]: estimated probability that control
+    leaving [src] goes to [dst]. *)

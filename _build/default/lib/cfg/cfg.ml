@@ -1,0 +1,53 @@
+open Psb_isa
+
+type t = {
+  program : Program.t;
+  preds : Label.t list Label.Map.t;
+  rpo : Label.t list;
+}
+
+let compute_rpo program =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      let b = Program.find program l in
+      List.iter dfs (Program.successors b);
+      order := l :: !order
+    end
+  in
+  dfs program.Program.entry;
+  !order
+
+let of_program program =
+  let rpo = compute_rpo program in
+  let preds =
+    List.fold_left
+      (fun acc l ->
+        let b = Program.find program l in
+        List.fold_left
+          (fun acc s ->
+            let existing = Option.value (Label.Map.find_opt s acc) ~default:[] in
+            if List.exists (Label.equal l) existing then acc
+            else Label.Map.add s (l :: existing) acc)
+          acc (Program.successors b))
+      Label.Map.empty rpo
+  in
+  { program; preds; rpo }
+
+let program t = t.program
+let entry t = t.program.Program.entry
+let block t l = Program.find t.program l
+let blocks t = List.map (block t) t.rpo
+let succs t l = Program.successors (block t l)
+let preds t l = Option.value (Label.Map.find_opt l t.preds) ~default:[]
+let rpo t = t.rpo
+let reachable t l = List.exists (Label.equal l) t.rpo
+
+let exits t =
+  List.filter
+    (fun l -> match (block t l).Program.term with Instr.Halt -> true | _ -> false)
+    t.rpo
+
+let num_blocks t = List.length t.rpo

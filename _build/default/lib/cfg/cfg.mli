@@ -1,0 +1,22 @@
+(** Control-flow graph over the basic blocks of a scalar program. *)
+
+open Psb_isa
+
+type t
+
+val of_program : Program.t -> t
+val program : t -> Program.t
+val entry : t -> Label.t
+
+val block : t -> Label.t -> Program.block
+val blocks : t -> Program.block list
+(** In reverse post-order from the entry (unreachable blocks omitted). *)
+
+val succs : t -> Label.t -> Label.t list
+val preds : t -> Label.t -> Label.t list
+val rpo : t -> Label.t list
+val reachable : t -> Label.t -> bool
+val exits : t -> Label.t list
+(** Blocks terminated by [Halt]. *)
+
+val num_blocks : t -> int

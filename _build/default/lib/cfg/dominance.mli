@@ -1,0 +1,30 @@
+(** Dominators, post-dominators and control equivalence.
+
+    The paper's region former needs dominance (the header must dominate
+    every block of a region) and the equivalence test of §3.3 footnote 2:
+    block [X] is equivalent to [Y] iff [X] dominates [Y] and [Y]
+    post-dominates [X] — an equivalent join block inherits the control
+    dependence of its equivalent block and needs no duplication. *)
+
+open Psb_isa
+
+type t
+
+val compute : Cfg.t -> t
+
+val dominates : t -> Label.t -> Label.t -> bool
+(** [dominates t a b]: every path from entry to [b] passes through [a].
+    Reflexive. *)
+
+val idom : t -> Label.t -> Label.t option
+(** Immediate dominator ([None] for the entry). *)
+
+val postdominates : t -> Label.t -> Label.t -> bool
+(** [postdominates t a b]: every path from [b] to program exit passes
+    through [a]. Computed against a virtual exit joining all [Halt]
+    blocks. *)
+
+val equivalent : t -> Label.t -> Label.t -> bool
+(** [equivalent t x y]: [x] dominates [y] and [y] post-dominates [x]. *)
+
+val dominance_frontier : t -> Label.t -> Label.t list

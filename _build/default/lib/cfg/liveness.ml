@@ -1,0 +1,112 @@
+open Psb_isa
+
+type t = {
+  cfg : Cfg.t;
+  live_in : Reg.Set.t Label.Map.t;
+  live_out : Reg.Set.t Label.Map.t;
+}
+
+let of_list = List.fold_left (fun s r -> Reg.Set.add r s) Reg.Set.empty
+
+(* Registers the terminator reads (a Br tests its source register). *)
+let term_uses (b : Program.block) =
+  match b.Program.term with
+  | Instr.Br { src; _ } -> Reg.Set.singleton src
+  | Instr.Jmp _ | Instr.Halt -> Reg.Set.empty
+
+let block_use_def (b : Program.block) =
+  (* use = registers read before any write in the block; def = written.
+     The terminator reads at the end of the block: its source is a use
+     unless defined earlier in the block. *)
+  let use, def =
+    List.fold_left
+      (fun (use, def) op ->
+        let use =
+          List.fold_left
+            (fun u r -> if Reg.Set.mem r def then u else Reg.Set.add r u)
+            use (Instr.uses op)
+        in
+        (use, Reg.Set.union def (of_list (Instr.defs op))))
+      (Reg.Set.empty, Reg.Set.empty)
+      b.Program.body
+  in
+  (Reg.Set.union use (Reg.Set.diff (term_uses b) def), def)
+
+let compute cfg =
+  let nodes = Cfg.rpo cfg in
+  let use_def =
+    List.fold_left
+      (fun m l -> Label.Map.add l (block_use_def (Cfg.block cfg l)) m)
+      Label.Map.empty nodes
+  in
+  let live_in = ref Label.Map.empty and live_out = ref Label.Map.empty in
+  List.iter
+    (fun l ->
+      live_in := Label.Map.add l Reg.Set.empty !live_in;
+      live_out := Label.Map.add l Reg.Set.empty !live_out)
+    nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Iterate in post-order for fast convergence of the backward problem. *)
+    List.iter
+      (fun l ->
+        let out =
+          List.fold_left
+            (fun acc s -> Reg.Set.union acc (Label.Map.find s !live_in))
+            Reg.Set.empty (Cfg.succs cfg l)
+        in
+        let use, def = Label.Map.find l use_def in
+        let inn = Reg.Set.union use (Reg.Set.diff out def) in
+        if not (Reg.Set.equal out (Label.Map.find l !live_out)) then begin
+          live_out := Label.Map.add l out !live_out;
+          changed := true
+        end;
+        if not (Reg.Set.equal inn (Label.Map.find l !live_in)) then begin
+          live_in := Label.Map.add l inn !live_in;
+          changed := true
+        end)
+      (List.rev nodes)
+  done;
+  { cfg; live_in = !live_in; live_out = !live_out }
+
+let live_in t l =
+  Option.value (Label.Map.find_opt l t.live_in) ~default:Reg.Set.empty
+
+let live_out t l =
+  Option.value (Label.Map.find_opt l t.live_out) ~default:Reg.Set.empty
+
+let live_before t l i =
+  let b = Cfg.block t.cfg l in
+  let ops = b.Program.body in
+  let n = List.length ops in
+  if i > n then invalid_arg "Liveness.live_before: index out of range";
+  (* Walk backwards from block exit to position i; the terminator's read
+     happens after the last operation. *)
+  let rec back j live rev_ops =
+    if j < i then live
+    else
+      match rev_ops with
+      | [] -> live
+      | op :: rest ->
+          let live =
+            Reg.Set.union
+              (of_list (Instr.uses op))
+              (Reg.Set.diff live (of_list (Instr.defs op)))
+          in
+          back (j - 1) live rest
+  in
+  back (n - 1) (Reg.Set.union (live_out t l) (term_uses b)) (List.rev ops)
+
+let dead_at_entry t l ~avoid ~max_reg =
+  let live = live_in t l in
+  let rec try_existing i =
+    if i > max_reg then None
+    else
+      let r = Reg.make i in
+      if Reg.Set.mem r live || Reg.Set.mem r avoid then try_existing (i + 1)
+      else Some r
+  in
+  match try_existing 0 with
+  | Some r -> Some r
+  | None -> Some (Reg.make (max_reg + 1))

@@ -1,0 +1,23 @@
+(** Backward liveness analysis of general registers.
+
+    Used by register renaming (a legal rename target must be dead on the
+    side-effect-causing path, §2.1) and by the schedule validator. *)
+
+open Psb_isa
+
+type t
+
+val compute : Cfg.t -> t
+
+val live_in : t -> Label.t -> Reg.Set.t
+val live_out : t -> Label.t -> Reg.Set.t
+
+val live_before : t -> Label.t -> int -> Reg.Set.t
+(** [live_before t l i]: registers live immediately before the [i]-th
+    operation of block [l] ([i] ranges over [0 .. length body]; at
+    [length body] this is the set live before the terminator, which equals
+    [live_out] since terminators read no general registers). *)
+
+val dead_at_entry : t -> Label.t -> avoid:Reg.Set.t -> max_reg:int -> Reg.t option
+(** A register not live into [l] and not in [avoid]; fresh registers above
+    [max_reg] are preferred when none of the existing ones is free. *)

@@ -1,0 +1,43 @@
+open Psb_isa
+
+type loop = { head : Label.t; body : Label.Set.t }
+
+let back_edges cfg dom =
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (fun s -> if Dominance.dominates dom s l then Some (l, s) else None)
+        (Cfg.succs cfg l))
+    (Cfg.rpo cfg)
+
+(* Natural loop of back edge (src, head): head plus all nodes that reach
+   src without passing through head. *)
+let loop_body cfg (src, head) =
+  let body = ref (Label.Set.add head Label.Set.empty) in
+  let rec pull l =
+    if not (Label.Set.mem l !body) then begin
+      body := Label.Set.add l !body;
+      List.iter pull (Cfg.preds cfg l)
+    end
+  in
+  pull src;
+  !body
+
+let natural_loops cfg dom =
+  let edges = back_edges cfg dom in
+  let by_head = Hashtbl.create 8 in
+  List.iter
+    (fun ((_, head) as e) ->
+      let body = loop_body cfg e in
+      let cur =
+        Option.value (Hashtbl.find_opt by_head head) ~default:Label.Set.empty
+      in
+      Hashtbl.replace by_head head (Label.Set.union cur body))
+    edges;
+  List.filter_map
+    (fun l ->
+      Option.map (fun body -> { head = l; body }) (Hashtbl.find_opt by_head l))
+    (Cfg.rpo cfg)
+
+let loop_heads cfg dom = List.map (fun l -> l.head) (natural_loops cfg dom)
+let in_loop loop l = Label.Set.mem l loop.body

@@ -1,0 +1,1 @@
+lib/compiler/cycles.ml: Array Format Hashtbl Instr Label List Option Program Psb_isa Runit Sched

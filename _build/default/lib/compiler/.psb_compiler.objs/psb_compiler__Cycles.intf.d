@@ -1,0 +1,1 @@
+lib/compiler/cycles.mli: Label Program Psb_isa Runit Sched

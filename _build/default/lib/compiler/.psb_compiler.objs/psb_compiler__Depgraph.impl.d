@@ -1,0 +1,1 @@
+lib/compiler/depgraph.ml: Array Cond Hashtbl Instr List Model Opcode Operand Pred Psb_isa Psb_machine Reg Runit

@@ -1,0 +1,1 @@
+lib/compiler/depgraph.mli: Model Psb_isa Psb_machine Reg Runit

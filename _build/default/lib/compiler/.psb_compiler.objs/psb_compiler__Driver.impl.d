@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Array Cycles Format Interp Label List Model Program Psb_cfg Psb_isa Psb_machine Runit Sched Trace

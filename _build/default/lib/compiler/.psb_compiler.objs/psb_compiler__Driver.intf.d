@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Label Memory Model Program Psb_cfg Psb_isa Psb_machine Reg Runit Sched

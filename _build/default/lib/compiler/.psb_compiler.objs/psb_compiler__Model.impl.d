@@ -1,0 +1,1 @@
+lib/compiler/model.ml: Format Instr Psb_isa

@@ -1,0 +1,1 @@
+lib/compiler/model.mli: Format Psb_isa

@@ -1,0 +1,1 @@
+lib/compiler/runit.ml: Array Cond Format Hashtbl Instr Label List Model Opcode Operand Option Pred Program Psb_cfg Psb_isa Queue Reg

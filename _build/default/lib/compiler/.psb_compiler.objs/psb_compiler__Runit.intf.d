@@ -1,0 +1,1 @@
+lib/compiler/runit.mli: Cond Format Hashtbl Instr Label Model Pred Psb_cfg Psb_isa

@@ -1,0 +1,1 @@
+lib/compiler/sched.ml: Array Cond Depgraph Format Hashtbl Instr Label List Model Option Pred Psb_isa Psb_machine Runit

@@ -1,0 +1,1 @@
+lib/compiler/sched.mli: Depgraph Format Model Psb_machine Runit

@@ -1,0 +1,1 @@
+lib/compiler/transform.ml: Format Instr Label List Operand Program Psb_cfg Psb_isa Reg

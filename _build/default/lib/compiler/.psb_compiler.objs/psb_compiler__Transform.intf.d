@@ -1,0 +1,1 @@
+lib/compiler/transform.mli: Program Psb_isa

@@ -1,0 +1,25 @@
+(** Trace-driven cycle accounting.
+
+    Replays a dynamic block trace (recorded by the scalar reference run,
+    our [pixie]) through the per-unit schedules: each visit to a unit costs
+    the issue cycle of the exit the execution actually takes, plus one.
+    This is how the non-predicated models (global, squashing, trace
+    scheduling, boosting) are evaluated, and it doubles as a cross-check
+    for the machine-measured predicated models. *)
+
+open Psb_isa
+
+type t = {
+  cycles : int;
+  unit_visits : int;
+  exits_taken : (Label.t * int) list;  (** (unit, count) *)
+}
+
+val measure :
+  units:Runit.t Label.Map.t ->
+  schedules:Sched.t Label.Map.t ->
+  Program.t ->
+  block_trace:Label.t list ->
+  t
+(** @raise Failure if the trace cannot be replayed through the units
+    (indicates a unit-construction bug). *)

@@ -1,0 +1,55 @@
+(** Dependence graph over a scheduling unit, encoding each model's code
+    motion legality (§2.1, §3.3, §4.2.2).
+
+    Nodes are the unit's instructions plus its exits; every edge points
+    seq-forward, so the graph is a DAG. Latencies on edges may be zero or
+    negative (pipeline-squash windows).
+
+    Register dependences assume the compiler renames illegal register
+    motions (as the paper's global scheduler does), so:
+    - WAR and WAW edges are dropped between instructions on mutually
+      exclusive paths (disjoint predicates) — predicated shadow state keeps
+      at most one of them;
+    - RAW edges from producers the consumer is control-dependent on mark
+      the operand for shadow fetch;
+    - RAW edges from producers on partially overlapping paths (values
+      merging at a join) become {e commit dependences}: the consumer also
+      waits for the producer's conditions to resolve and reads the
+      sequential state (§4.2.2).
+
+    Memory dependences use a symbolic base+offset analysis. Two distinct
+    {e initial-register} roots are assumed not to alias (standing in for
+    the reference compiler's alias analysis: workloads place each data
+    structure at its own base register; the end-to-end semantic
+    equivalence tests validate the assumption on every workload). Computed
+    addresses are conservative: they may alias anything.
+
+    Speculation-class edges tie each instruction to the condition-set
+    instructions of its own predicate: [No_spec] waits for full resolution,
+    [Squash w] may issue up to [w] cycles early, [Buffered] is free. In
+    non-predicated models the [Setc] nodes are the branches themselves:
+    they execute sequentially and exits fire with them. *)
+
+open Psb_isa
+module Machine_model = Psb_machine.Machine_model
+
+type t
+
+val n_instrs : t -> int
+val n_exits : t -> int
+val n_nodes : t -> int
+(** Node index space: instruction [uid]s, then [n_instrs + xid]. *)
+
+val build :
+  Model.t -> Machine_model.t -> single_shadow:bool -> Runit.t -> t
+
+val in_edges : t -> int -> (int * int) list
+(** [(src_node, latency)] pairs. *)
+
+val out_edges : t -> int -> (int * int) list
+
+val shadow_srcs : t -> int -> Reg.Set.t
+(** Registers instruction [uid] must fetch from the speculative state. *)
+
+val height : t -> int -> int
+(** Critical-path height of a node (longest latency path to any sink). *)

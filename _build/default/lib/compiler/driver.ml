@@ -1,0 +1,83 @@
+open Psb_isa
+module Machine_model = Psb_machine.Machine_model
+module Pcode = Psb_machine.Pcode
+module Vliw_sim = Psb_machine.Vliw_sim
+module Branch_predict = Psb_cfg.Branch_predict
+module Cfg = Psb_cfg.Cfg
+module Dominance = Psb_cfg.Dominance
+module Loops = Psb_cfg.Loops
+
+type compiled = {
+  model : Model.t;
+  machine : Machine_model.t;
+  units : Runit.t Label.Map.t;
+  schedules : Sched.t Label.Map.t;
+  pcode : Pcode.t option;
+}
+
+let profile_of program ~regs ~mem =
+  let result = Interp.run ~regs ~mem program in
+  let cfg = Cfg.of_program program in
+  let trace = Trace.of_result program result in
+  (result, Branch_predict.of_trace cfg trace)
+
+let compile ?(single_shadow = true) ?(avoid_commit_deps = false) ~model
+    ~machine ~profile program =
+  let cfg = Cfg.of_program program in
+  let dom = Dominance.compute cfg in
+  let loop_heads = Loops.loop_heads cfg dom in
+  let params =
+    Runit.default_params ~scope:model.Model.scope
+      ~max_conds:machine.Machine_model.ccr_size
+      ~fuse_compare:model.Model.branch_elim ~avoid_commit_deps ()
+  in
+  let units =
+    Runit.build_all params cfg profile ~loop_heads ~entry:program.Program.entry
+  in
+  let schedules =
+    Label.Map.map (fun u -> Sched.schedule model machine ~single_shadow u) units
+  in
+  Label.Map.iter
+    (fun header sched ->
+      match Sched.check sched model machine with
+      | Ok () -> ()
+      | Error e ->
+          failwith
+            (Format.asprintf "Driver.compile: %s schedule for %a invalid: %s"
+               model.Model.name Label.pp header e))
+    schedules;
+  let pcode =
+    if model.Model.executable then begin
+      let regions =
+        Label.Map.bindings schedules |> List.map (fun (_, s) -> Sched.emit s)
+      in
+      let code = Pcode.make ~entry:program.Program.entry regions in
+      (match Pcode.check_resources machine code with
+      | Ok () -> ()
+      | Error e -> failwith ("Driver.compile: emitted code over budget: " ^ e));
+      Some code
+    end
+    else None
+  in
+  { model; machine; units; schedules; pcode }
+
+let estimate_cycles c program ~block_trace =
+  (Cycles.measure ~units:c.units ~schedules:c.schedules program ~block_trace)
+    .Cycles.cycles
+
+let run_vliw ?regfile_mode c ~regs ~mem =
+  match c.pcode with
+  | None ->
+      invalid_arg
+        (Format.asprintf "Driver.run_vliw: model %s is not executable"
+           c.model.Model.name)
+  | Some code -> Vliw_sim.run ?regfile_mode ~model:c.machine ~regs ~mem code
+
+let code_size c =
+  match c.pcode with
+  | Some code -> Pcode.num_slots code
+  | None ->
+      Label.Map.fold
+        (fun _ (u : Runit.t) acc ->
+          acc + Array.length u.Runit.instrs + Array.length u.Runit.exits)
+        c.units 0

@@ -1,0 +1,49 @@
+(** Whole-program compilation driver: profile → units → schedules →
+    (for the predicating models) executable VLIW code. *)
+
+open Psb_isa
+module Machine_model = Psb_machine.Machine_model
+module Pcode = Psb_machine.Pcode
+module Vliw_sim = Psb_machine.Vliw_sim
+module Branch_predict = Psb_cfg.Branch_predict
+
+type compiled = {
+  model : Model.t;
+  machine : Machine_model.t;
+  units : Runit.t Label.Map.t;
+  schedules : Sched.t Label.Map.t;
+  pcode : Pcode.t option;  (** for executable models *)
+}
+
+val profile_of : Program.t -> regs:(Reg.t * int) list -> mem:Memory.t ->
+  Psb_isa.Interp.result * Branch_predict.t
+(** Run the scalar reference once to obtain the training profile. The
+    memory is consumed (pass a fresh copy). *)
+
+val compile :
+  ?single_shadow:bool ->
+  ?avoid_commit_deps:bool ->
+  model:Model.t ->
+  machine:Machine_model.t ->
+  profile:Branch_predict.t ->
+  Program.t ->
+  compiled
+(** @raise Failure if any unit schedule fails validation. To compile an
+    optimised program, apply {!Transform.optimize} (and
+    {!Transform.jump_thread}) {e before} profiling, so the training trace
+    and the compiled code agree on block labels. *)
+
+val estimate_cycles : compiled -> Program.t -> block_trace:Label.t list -> int
+(** Trace-driven cycle count (see {!Cycles}). *)
+
+val run_vliw :
+  ?regfile_mode:Psb_machine.Regfile.mode ->
+  compiled ->
+  regs:(Reg.t * int) list ->
+  mem:Memory.t ->
+  Vliw_sim.result
+(** Execute the compiled predicated code on the machine simulator.
+    @raise Invalid_argument if the model is not executable. *)
+
+val code_size : compiled -> int
+(** Total static slots across all regions (code-growth metric). *)

@@ -1,0 +1,114 @@
+open Psb_isa
+
+type scope = Trace | Region
+type spec_class = No_spec | Squash of int | Buffered
+
+type t = {
+  name : string;
+  scope : scope;
+  safe_spec : spec_class;
+  unsafe_spec : spec_class;
+  store_spec : spec_class;
+  branch_elim : bool;
+  cond_limit : int option;
+  counter_preds : bool;
+  executable : bool;
+}
+
+(* Issue-to-writeback distance of the scalar pipeline: a squashing machine
+   can cancel a side effect up to this many cycles after issue. *)
+let squash_window = 2
+
+let global =
+  {
+    name = "global";
+    (* The paper's global scheduler iterates motions between adjacent
+       blocks until fixpoint, which lets legal+safe instructions cross
+       several block boundaries; a region models that reach. *)
+    scope = Region;
+    safe_spec = Buffered (* renaming provides the buffering, no hardware *);
+    unsafe_spec = No_spec;
+    store_spec = No_spec;
+    branch_elim = false;
+    cond_limit = Some 1;
+    counter_preds = false;
+    executable = false;
+  }
+
+let squashing =
+  {
+    global with
+    name = "squashing";
+    unsafe_spec = Squash squash_window;
+    store_spec = Squash squash_window;
+  }
+
+let trace_sched =
+  { squashing with name = "trace-sched"; scope = Trace; cond_limit = None }
+
+let region_sched =
+  {
+    squashing with
+    name = "region-sched";
+    scope = Region;
+    branch_elim = true;
+    cond_limit = None;
+    executable = true;
+  }
+
+let guarded =
+  {
+    name = "guarded";
+    scope = Region;
+    safe_spec = Squash squash_window;
+    unsafe_spec = Squash squash_window;
+    store_spec = Squash squash_window;
+    branch_elim = true;
+    cond_limit = None;
+    counter_preds = false;
+    executable = true;
+  }
+
+let boosting =
+  {
+    name = "boosting";
+    scope = Trace;
+    safe_spec = Buffered;
+    unsafe_spec = Buffered;
+    store_spec = Buffered;
+    branch_elim = false (* basic blocks are maintained (§4.2.2) *);
+    cond_limit = None;
+    counter_preds = false;
+    executable = false;
+  }
+
+let trace_pred =
+  {
+    boosting with
+    name = "trace-pred";
+    branch_elim = true;
+    executable = true;
+  }
+
+let trace_pred_counter =
+  { trace_pred with name = "trace-pred-counter"; counter_preds = true }
+
+let region_pred =
+  { trace_pred with name = "region-pred"; scope = Region }
+
+let all =
+  [
+    global; squashing; trace_sched; region_sched; guarded; boosting;
+    trace_pred; region_pred;
+  ]
+
+let restricted = [ global; squashing; trace_sched; region_sched ]
+let predicating = [ global; boosting; trace_pred; region_pred ]
+
+let spec_class_of t (op : Instr.op) =
+  if Instr.is_store op then t.store_spec
+  else if Instr.has_side_effect op then No_spec (* Out is never speculated *)
+  else if Instr.is_unsafe op then t.unsafe_spec
+  else t.safe_spec
+
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,89 @@
+(** The speculative-execution models evaluated in the paper (§4).
+
+    Each model is a point in a small configuration space:
+    - {b scope}: how scheduling units are formed — single likely path
+      ({e trace}) or multi-path single-entry subgraph ({e region});
+    - {b speculation class} per instruction category: [No_spec] (must wait
+      until its control conditions are resolved), [Squash w] (may issue up
+      to [w] cycles before resolution — speculative state lives only in the
+      pipeline and is squashed before writeback), or [Buffered]
+      (unconstrained — side effects buffered in predicated shadow state);
+    - {b branch elimination}: whether intra-unit branches are converted to
+      condition-set instructions and predicates (predicated execution) or
+      remain branch-unit instructions. *)
+
+type scope = Trace | Region
+
+type spec_class = No_spec | Squash of int | Buffered
+
+type t = {
+  name : string;
+  scope : scope;
+  safe_spec : spec_class;
+      (** exception-free register instructions; renaming makes their
+          speculation legal without hardware support *)
+  unsafe_spec : spec_class;  (** loads and other faulting instructions *)
+  store_spec : spec_class;
+  branch_elim : bool;
+  cond_limit : int option;
+      (** cap on unresolved conditions an instruction may be speculated
+          past, independent of the machine's CCR: the global/squashing
+          models reach across roughly one branch (iterated adjacent-block
+          motion); trace/region models use the full CCR *)
+  counter_preds : bool;
+      (** encode predicates as dependence counters instead of ternary
+          vectors (§4.2.1's strawman): loses which condition is which, so
+          condition-set instructions must execute sequentially *)
+  executable : bool;
+      (** whether the compiled unit is emitted as predicated VLIW code and
+          run on the machine simulator (models relying on the predicating
+          hardware) — other models are evaluated by trace-driven cycle
+          accounting on their schedules *)
+}
+
+val squash_window : int
+(** Pipeline squashing window in cycles (issue → writeback distance). *)
+
+val global : t
+(** Global scheduling (Fig. 6): safe+legal motion only, renaming-based. *)
+
+val squashing : t
+(** + unsafe motion with pipeline squashing (Fig. 6). *)
+
+val trace_sched : t
+(** Trace scheduling with renaming and squashing (Fig. 6). *)
+
+val region_sched : t
+(** Region scheduling with simple predicated execution, squashing
+    speculation only (Fig. 6). *)
+
+val guarded : t
+(** The guarded-instruction architecture of Hsu & Davidson as §2.2
+    describes it: predicated execution where {e all} speculative state
+    lives only in the pipeline — every instruction class is limited to
+    the squash window, including safe register operations. The weakest
+    predicated point of the related-work spectrum. *)
+
+val boosting : t
+(** Trace-scoped shadow buffering (Fig. 7). *)
+
+val trace_pred : t
+(** Predicating hardware, compiler limited to a trace (Fig. 7). *)
+
+val trace_pred_counter : t
+(** Trace predicating with counter-type predicates (§4.2.1's comparison
+    point): condition-set instructions are forced into sequential order. *)
+
+val region_pred : t
+(** Full predicating — the paper's contribution (Fig. 7). *)
+
+val all : t list
+
+val restricted : t list
+(** The four Fig. 6 models. *)
+
+val predicating : t list
+(** The four Fig. 7 models. *)
+
+val spec_class_of : t -> Psb_isa.Instr.op -> spec_class
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,249 @@
+open Psb_isa
+module Machine_model = Psb_machine.Machine_model
+module Pcode = Psb_machine.Pcode
+
+type t = {
+  unit_ : Runit.t;
+  graph : Depgraph.t;
+  issue : int array;
+  length : int;
+}
+
+type node_kind = Ninstr of Runit.uinstr | Nexit of Runit.uexit
+
+let node_kind (u : Runit.t) ni node =
+  if node < ni then Ninstr u.Runit.instrs.(node)
+  else Nexit u.Runit.exits.(node - ni)
+
+(* Resource demand of a node: (consumes_slot, unit_class option). *)
+let demand (model : Model.t) = function
+  | Ninstr i -> (
+      match i.Runit.op with
+      | Instr.Nop -> (false, None)
+      | Instr.Setc _ ->
+          if model.Model.branch_elim then (true, Some Machine_model.Alu_unit)
+          else (true, Some Machine_model.Branch_unit)
+      | op -> (true, Some (Machine_model.unit_of_op op)))
+  | Nexit x ->
+      if model.Model.branch_elim then (true, Some Machine_model.Branch_unit)
+      else (
+        match x.Runit.from_branch with
+        | Some _ -> (false, None) (* the branch (Setc) pays the slot *)
+        | None -> (true, Some Machine_model.Branch_unit))
+
+let is_setc_node = function
+  | Ninstr { Runit.op = Instr.Setc _; _ } -> true
+  | Ninstr _ | Nexit _ -> false
+
+let is_exit_node = function Nexit _ -> true | Ninstr _ -> false
+
+let schedule (model : Model.t) (machine : Machine_model.t) ~single_shadow u =
+  let g = Depgraph.build model machine ~single_shadow u in
+  let ni = Depgraph.n_instrs g in
+  let n = Depgraph.n_nodes g in
+  let issue = Array.make n (-1) in
+  let remaining = ref n in
+  (* spec_time of a condition: cycle its value becomes visible. *)
+  let spec_time c =
+    let uid = Runit.setc_uid u c in
+    if issue.(uid) < 0 then max_int else issue.(uid) + 1
+  in
+  let unresolved_ok kind t =
+    match kind with
+    | Nexit _ -> true
+    | Ninstr i ->
+        let k =
+          match model.Model.cond_limit with
+          | None -> machine.Machine_model.max_spec_conds
+          | Some l -> min l machine.Machine_model.max_spec_conds
+        in
+        let unresolved =
+          Cond.Set.fold
+            (fun c acc -> if spec_time c > t then acc + 1 else acc)
+            (Pred.conds i.Runit.pred) 0
+        in
+        unresolved <= k
+  in
+  let ready node t =
+    issue.(node) < 0
+    && List.for_all
+         (fun (src, lat) -> issue.(src) >= 0 && issue.(src) + lat <= t)
+         (Depgraph.in_edges g node)
+    && unresolved_ok (node_kind u ni node) t
+  in
+  let t = ref 0 in
+  let deadline = 100_000 in
+  while !remaining > 0 do
+    if !t > deadline then failwith "Sched.schedule: no progress (cyclic constraints?)";
+    (* capacity for this cycle *)
+    let slots = ref machine.Machine_model.issue_width in
+    let cap = Hashtbl.create 4 in
+    Hashtbl.replace cap Machine_model.Alu_unit machine.Machine_model.alu_units;
+    Hashtbl.replace cap Machine_model.Branch_unit machine.Machine_model.branch_units;
+    Hashtbl.replace cap Machine_model.Load_unit machine.Machine_model.load_units;
+    Hashtbl.replace cap Machine_model.Store_unit machine.Machine_model.store_units;
+    let has_setc = ref false and has_exit = ref false in
+    let try_place node =
+      let kind = node_kind u ni node in
+      let consumes, klass = demand model kind in
+      let fits_units =
+        match klass with None -> true | Some k -> Hashtbl.find cap k > 0
+      in
+      let fits_slot = (not consumes) || !slots > 0 in
+      let structural_ok =
+        (not model.Model.executable)
+        || (not (is_setc_node kind && !has_exit))
+           && not (is_exit_node kind && !has_setc)
+      in
+      if fits_units && fits_slot && structural_ok then begin
+        issue.(node) <- !t;
+        decr remaining;
+        if consumes then begin
+          decr slots;
+          match klass with
+          | Some k -> Hashtbl.replace cap k (Hashtbl.find cap k - 1)
+          | None -> ()
+        end;
+        if is_setc_node kind then has_setc := true;
+        if is_exit_node kind then has_exit := true
+      end
+    in
+    (* Iterate to a fixpoint within the cycle: placing a node can make a
+       zero-latency successor (completion edges, WAR) ready in the same
+       bundle. Condition visibility (spec_time = issue + 1) cannot change
+       within the cycle, so this converges. *)
+    let progress = ref true in
+    while !progress && !remaining > 0 do
+      progress := false;
+      let before = !remaining in
+      List.init n (fun i -> i)
+      |> List.filter (fun node -> ready node !t)
+      |> List.sort (fun a b ->
+             compare
+               (-Depgraph.height g a, a)
+               (-Depgraph.height g b, b))
+      |> List.iter (fun node -> if issue.(node) < 0 then try_place node);
+      if !remaining < before then progress := true
+    done;
+    incr t
+  done;
+  let length =
+    Array.fold_left
+      (fun acc (x : Runit.uexit) -> max acc (issue.(ni + x.xid) + 1))
+      1 u.Runit.exits
+  in
+  { unit_ = u; graph = g; issue; length }
+
+let exit_cycle t xid = t.issue.(Depgraph.n_instrs t.graph + xid)
+
+let check t (model : Model.t) (machine : Machine_model.t) =
+  let g = t.graph in
+  let ni = Depgraph.n_instrs g in
+  let n = Depgraph.n_nodes g in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* edges *)
+  for node = 0 to n - 1 do
+    List.iter
+      (fun (src, lat) ->
+        if t.issue.(src) + lat > t.issue.(node) then
+          err "edge %d->%d (lat %d) violated: %d -> %d" src node lat
+            t.issue.(src) t.issue.(node))
+      (Depgraph.in_edges g node)
+  done;
+  (* resources per cycle *)
+  let by_cycle = Hashtbl.create 64 in
+  for node = 0 to n - 1 do
+    let c = t.issue.(node) in
+    Hashtbl.replace by_cycle c (node :: Option.value (Hashtbl.find_opt by_cycle c) ~default:[])
+  done;
+  Hashtbl.iter
+    (fun c nodes ->
+      let slots = ref 0 in
+      let counts = Hashtbl.create 4 in
+      let setc = ref false and exit_ = ref false in
+      List.iter
+        (fun node ->
+          let kind = node_kind t.unit_ ni node in
+          if is_setc_node kind then setc := true;
+          if is_exit_node kind then exit_ := true;
+          let consumes, klass = demand model kind in
+          if consumes then incr slots;
+          match klass with
+          | Some k ->
+              Hashtbl.replace counts k
+                (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+          | None -> ())
+        nodes;
+      if !slots > machine.Machine_model.issue_width then
+        err "cycle %d: %d slots > issue width" c !slots;
+      Hashtbl.iter
+        (fun k cnt ->
+          if cnt > Machine_model.units_available machine k then
+            err "cycle %d: unit class over-subscribed" c)
+        counts;
+      if model.Model.executable && !setc && !exit_ then
+        err "cycle %d: Setc bundled with an exit" c)
+    by_cycle;
+  match !errors with [] -> Ok () | e :: _ -> Error e
+
+let emit t =
+  let u = t.unit_ in
+  let ni = Depgraph.n_instrs t.graph in
+  let bundles = Array.make t.length [] in
+  Array.iter
+    (fun (i : Runit.uinstr) ->
+      match i.op with
+      | Instr.Nop -> ()
+      | _ ->
+          let c = t.issue.(i.uid) in
+          (* A Setc scheduled after the last exit can never execute: every
+             path has left the region. Drop it. *)
+          if c < t.length then
+            bundles.(c) <-
+              Pcode.op ~shadow_srcs:(Depgraph.shadow_srcs t.graph i.uid) i.pred
+                i.op
+              :: bundles.(c))
+    u.Runit.instrs;
+  Array.iter
+    (fun (x : Runit.uexit) ->
+      let c = t.issue.(ni + x.xid) in
+      let slot =
+        match x.target with
+        | Some l -> Pcode.exit_to x.pred l
+        | None -> Pcode.exit_stop x.pred
+      in
+      bundles.(c) <- bundles.(c) @ [ slot ])
+    u.Runit.exits;
+  (* ops before exits inside each bundle, original insertion order *)
+  let code =
+    Array.map
+      (fun slots ->
+        let ops, exits =
+          List.partition (function Pcode.Op _ -> true | Pcode.Exit _ -> false) slots
+        in
+        List.rev ops @ exits)
+      bundles
+  in
+  {
+    Pcode.name = u.Runit.header;
+    code;
+    source_blocks =
+      Array.to_list u.Runit.copies |> List.map (fun c -> c.Runit.label);
+  }
+
+let pp ppf t =
+  let ni = Depgraph.n_instrs t.graph in
+  Format.fprintf ppf "@[<v>schedule for %a (length %d):@," Label.pp
+    t.unit_.Runit.header t.length;
+  Array.iter
+    (fun (i : Runit.uinstr) ->
+      Format.fprintf ppf "  t=%d  i%d %a ? %a@," t.issue.(i.uid) i.uid Pred.pp
+        i.pred Instr.pp_op i.op)
+    t.unit_.Runit.instrs;
+  Array.iter
+    (fun (x : Runit.uexit) ->
+      Format.fprintf ppf "  t=%d  x%d %a ? exit@," t.issue.(ni + x.xid) x.xid
+        Pred.pp x.pred)
+    t.unit_.Runit.exits;
+  Format.fprintf ppf "@]"

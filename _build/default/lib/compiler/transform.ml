@@ -1,0 +1,249 @@
+open Psb_isa
+module Cfg = Psb_cfg.Cfg
+module Liveness = Psb_cfg.Liveness
+
+(* ----- copy propagation (block-local) ----- *)
+
+let copy_propagate program =
+  let rewrite_block (b : Program.block) =
+    (* env maps a register to the operand it currently copies *)
+    let env : (Reg.t * Operand.t) list ref = ref [] in
+    let kill r =
+      env :=
+        List.filter
+          (fun (d, src) ->
+            (not (Reg.equal d r))
+            && not (List.exists (Reg.equal r) (Operand.regs src)))
+          !env
+    in
+    let subst_operand op =
+      match op with
+      | Operand.Reg r -> (
+          match List.assoc_opt r !env with Some o -> o | None -> op)
+      | Operand.Imm _ -> op
+    in
+    let subst_reg r =
+      (* register positions (load base, store src) can only take another
+         register *)
+      match List.assoc_opt r !env with
+      | Some (Operand.Reg r') -> r'
+      | Some (Operand.Imm _) | None -> r
+    in
+    let body =
+      List.map
+        (fun op ->
+          let op' =
+            match op with
+            | Instr.Alu x -> Instr.Alu { x with a = subst_operand x.a; b = subst_operand x.b }
+            | Instr.Cmp x -> Instr.Cmp { x with a = subst_operand x.a; b = subst_operand x.b }
+            | Instr.Setc x -> Instr.Setc { x with a = subst_operand x.a; b = subst_operand x.b }
+            | Instr.Mov x -> Instr.Mov { x with src = subst_operand x.src }
+            | Instr.Load x -> Instr.Load { x with base = subst_reg x.base }
+            | Instr.Store x ->
+                Instr.Store { x with src = subst_reg x.src; base = subst_reg x.base }
+            | Instr.Out o -> Instr.Out (subst_operand o)
+            | Instr.Nop -> Instr.Nop
+          in
+          List.iter kill (Instr.defs op');
+          (match op' with
+          | Instr.Mov { dst; src } ->
+              if not (List.exists (Reg.equal dst) (Operand.regs src)) then
+                env := (dst, src) :: !env
+          | _ -> ());
+          op')
+        b.Program.body
+    in
+    let term =
+      match b.Program.term with
+      | Instr.Br x -> Instr.Br { x with src = subst_reg x.src }
+      | (Instr.Jmp _ | Instr.Halt) as t -> t
+    in
+    { b with Program.body = body; term }
+  in
+  Program.map_blocks rewrite_block program
+
+(* ----- dead-code elimination ----- *)
+
+let dce_pass program =
+  let cfg = Cfg.of_program program in
+  let live = Liveness.compute cfg in
+  let changed = ref false in
+  let rewrite_block (b : Program.block) =
+    if not (Cfg.reachable cfg b.Program.label) then b
+    else begin
+      let n = List.length b.Program.body in
+      let body =
+        List.filteri
+          (fun idx op ->
+            let keep =
+              Instr.has_side_effect op
+              || Instr.cond_def op <> None
+              ||
+              match Instr.defs op with
+              | [] -> true (* Nop and friends: harmless, keep *)
+              | defs ->
+                  (* live after this op = live before the next position *)
+                  let after =
+                    if idx + 1 <= n then
+                      Liveness.live_before live b.Program.label (idx + 1)
+                    else Liveness.live_out live b.Program.label
+                  in
+                  List.exists (fun d -> Reg.Set.mem d after) defs
+            in
+            (* Loads may fault; removing a dead one changes the fault
+               behaviour. The paper's compiler treats that as acceptable
+               (dead unsafe code is still dead); we keep faulting ops to
+               preserve exact semantics. *)
+            let keep = keep || Instr.is_unsafe op in
+            if not keep then changed := true;
+            keep)
+          b.Program.body
+      in
+      { b with Program.body = body }
+    end
+  in
+  let program' = Program.map_blocks rewrite_block program in
+  (program', !changed)
+
+let rec dead_code_eliminate program =
+  let program', changed = dce_pass program in
+  if changed then dead_code_eliminate program' else program'
+
+let rec optimize program =
+  let p1 = copy_propagate program in
+  let p2 = dead_code_eliminate p1 in
+  if Program.size p2 < Program.size program then optimize p2 else p2
+
+(* ----- loop unrolling ----- *)
+
+module Dominance = Psb_cfg.Dominance
+module Loops = Psb_cfg.Loops
+
+let unroll_loops ~factor program =
+  if factor < 2 then program
+  else begin
+    let cfg = Cfg.of_program program in
+    let dom = Dominance.compute cfg in
+    let loops = Loops.natural_loops cfg dom in
+    let heads = Label.Set.of_list (List.map (fun l -> l.Loops.head) loops) in
+    let innermost =
+      List.filter
+        (fun l ->
+          Label.Set.for_all
+            (fun b ->
+              Label.equal b l.Loops.head || not (Label.Set.mem b heads))
+            l.Loops.body)
+        loops
+    in
+    (* process loops with pairwise-disjoint bodies only *)
+    let chosen, _ =
+      List.fold_left
+        (fun (acc, used) l ->
+          if Label.Set.is_empty (Label.Set.inter l.Loops.body used) then
+            (l :: acc, Label.Set.union used l.Loops.body)
+          else (acc, used))
+        ([], Label.Set.empty) innermost
+    in
+    let copy_name l i = Label.make (Format.asprintf "%s~u%d" (Label.name l) i) in
+    let unroll_one blocks (l : Loops.loop) =
+      let in_body lbl = Label.Set.mem lbl l.Loops.body in
+      let head = l.Loops.head in
+      (* retarget rule for copy [i] (1 .. factor-1): internal edges stay in
+         copy i; edges to the head go to copy i+1's head (the last copy
+         wraps to the original head); loop exits keep their targets. *)
+      let retarget_for i lbl =
+        if Label.equal lbl head then
+          if i + 1 < factor then copy_name head (i + 1) else head
+        else if in_body lbl then copy_name lbl i
+        else lbl
+      in
+      let term_map f = function
+        | Instr.Br b ->
+            Instr.Br { b with if_true = f b.if_true; if_false = f b.if_false }
+        | Instr.Jmp t -> Instr.Jmp (f t)
+        | Instr.Halt -> Instr.Halt
+      in
+      let copies =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun (b : Program.block) ->
+                if in_body b.Program.label then
+                  Some
+                    {
+                      b with
+                      Program.label = copy_name b.Program.label i;
+                      term = term_map (retarget_for i) b.Program.term;
+                    }
+                else None)
+              blocks)
+          (List.init (factor - 1) (fun i -> i + 1))
+      in
+      (* the original copy's back edges now enter copy 1 *)
+      let blocks =
+        List.map
+          (fun (b : Program.block) ->
+            if in_body b.Program.label then
+              let f lbl =
+                if Label.equal lbl head && not (Label.equal b.Program.label head)
+                then
+                  (* only back edges (head-targeting edges from inside) move *)
+                  copy_name head 1
+                else if Label.equal lbl head && Label.equal b.Program.label head
+                then copy_name head 1 (* self loop *)
+                else lbl
+              in
+              { b with Program.term = term_map f b.Program.term }
+            else b)
+          blocks
+      in
+      blocks @ copies
+    in
+    let blocks = List.fold_left unroll_one program.Program.blocks chosen in
+    Program.make ~entry:program.Program.entry blocks
+  end
+
+(* ----- jump threading (delete transformation) ----- *)
+
+let jump_thread program =
+  let entry = program.Program.entry in
+  (* trivial block: empty body, unconditional jump *)
+  let trivial =
+    List.filter_map
+      (fun (b : Program.block) ->
+        match (b.Program.body, b.Program.term) with
+        | [], Instr.Jmp target
+          when (not (Label.equal b.Program.label entry))
+               && not (Label.equal target b.Program.label) ->
+            Some (b.Program.label, target)
+        | _ -> None)
+      program.Program.blocks
+  in
+  (* resolve chains, guarding against cycles of trivial jumps *)
+  let rec resolve seen l =
+    match List.assoc_opt l trivial with
+    | Some next when not (List.exists (Label.equal next) seen) ->
+        resolve (l :: seen) next
+    | _ -> l
+  in
+  let blocks =
+    program.Program.blocks
+    |> List.filter (fun (b : Program.block) ->
+           (not (List.mem_assoc b.Program.label trivial))
+           || Label.equal b.Program.label entry)
+    |> List.map (fun (b : Program.block) ->
+           let term =
+             match b.Program.term with
+             | Instr.Br x ->
+                 Instr.Br
+                   {
+                     x with
+                     if_true = resolve [] x.if_true;
+                     if_false = resolve [] x.if_false;
+                   }
+             | Instr.Jmp l -> Instr.Jmp (resolve [] l)
+             | Instr.Halt -> Instr.Halt
+           in
+           { b with Program.term })
+  in
+  Program.make ~entry blocks

@@ -1,0 +1,33 @@
+(** Classic scalar transformations the paper's schedulers lean on (§4.1):
+    copy propagation and dead-code elimination — applied after register
+    renaming "to eliminate the data dependences upon the replaced copy
+    instruction ... furthermore, we eliminate the copy instruction if the
+    copied variable is no longer used" [Aho-Sethi-Ullman]. *)
+
+open Psb_isa
+
+val copy_propagate : Program.t -> Program.t
+(** Block-local copy propagation: after [Mov dst (Reg src)], uses of [dst]
+    read [src] until either register is redefined. Immediate moves
+    propagate as constants. *)
+
+val dead_code_eliminate : Program.t -> Program.t
+(** Liveness-based global DCE: removes side-effect-free operations whose
+    results are dead. Runs to a fixpoint. *)
+
+val optimize : Program.t -> Program.t
+(** [copy_propagate] then [dead_code_eliminate], iterated to a fixpoint. *)
+
+val jump_thread : Program.t -> Program.t
+(** Percolation's "delete transformation": a block that is empty except
+    for an unconditional jump is removed and its predecessors retargeted
+    (the entry block is kept). *)
+
+val unroll_loops : factor:int -> Program.t -> Program.t
+(** The paper's named future work (§4.2.2: "other compilation techniques
+    which expose more parallelism (e.g. loop unrolling) may be required to
+    exploit more parallelism"): chain [factor] copies of each innermost
+    natural loop so that only the first copy's head remains a loop head —
+    region formation can then cover [factor] iterations in one region.
+    Pure duplication: semantics are unchanged. Loops whose bodies overlap
+    an already-unrolled loop are left alone. *)

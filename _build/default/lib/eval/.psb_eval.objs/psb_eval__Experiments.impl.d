@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Array Driver Dsl Format Harness Interp List Model Program Psb_compiler Psb_isa Psb_machine Psb_workloads Synth Trace Transform

@@ -1,0 +1,1 @@
+lib/eval/experiments.mli: Format Harness Model Psb_compiler

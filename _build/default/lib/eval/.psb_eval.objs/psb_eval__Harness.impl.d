@@ -1,0 +1,1 @@
+lib/eval/harness.ml: Driver Dsl Format Interp List Model Option Psb_cfg Psb_compiler Psb_isa Psb_machine Psb_workloads Suite

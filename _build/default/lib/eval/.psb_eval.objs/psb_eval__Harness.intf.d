@@ -1,0 +1,1 @@
+lib/eval/harness.mli: Driver Dsl Interp Model Psb_cfg Psb_compiler Psb_isa Psb_machine Psb_workloads

@@ -1,0 +1,1 @@
+lib/eval/limits.ml: Array Dsl Format Hashtbl Instr Interp List Memory Opcode Operand Option Program Psb_isa Psb_workloads Reg Suite

@@ -1,0 +1,1 @@
+lib/eval/limits.mli: Dsl Format Psb_workloads

@@ -1,0 +1,68 @@
+open Psb_isa
+module Machine_model = Psb_machine.Machine_model
+module Vliw_sim = Psb_machine.Vliw_sim
+open Psb_compiler
+open Psb_workloads
+
+type entry = {
+  workload : Dsl.t;
+  scalar : Interp.result;
+  profile : Psb_cfg.Branch_predict.t;
+}
+
+type t = { machine : Machine_model.t; entries : entry list }
+
+let create ?(machine = Machine_model.base) ?(workloads = Suite.all) () =
+  let entries =
+    List.map
+      (fun (w : Dsl.t) ->
+        let scalar, profile =
+          Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+        in
+        (match scalar.Interp.outcome with
+        | Interp.Halted -> ()
+        | o ->
+            failwith
+              (Format.asprintf "Harness.create: %s did not halt (%a)" w.Dsl.name
+                 Interp.pp_outcome o));
+        { workload = w; scalar; profile })
+      workloads
+  in
+  { machine; entries }
+
+let scalar_cycles e = e.scalar.Interp.cycles
+
+let compile t ?machine model e =
+  let machine = Option.value machine ~default:t.machine in
+  Driver.compile ~model ~machine ~profile:e.profile e.workload.Dsl.program
+
+let estimated_cycles t ?machine model e =
+  let compiled = compile t ?machine model e in
+  Driver.estimate_cycles compiled e.workload.Dsl.program
+    ~block_trace:e.scalar.Interp.block_trace
+
+let measured t ?(single_shadow = true) ?regfile_mode model e =
+  let machine = t.machine in
+  let compiled =
+    Driver.compile ~single_shadow ~model ~machine ~profile:e.profile
+      e.workload.Dsl.program
+  in
+  let mem = e.workload.Dsl.make_mem () in
+  let res = Driver.run_vliw ?regfile_mode compiled ~regs:e.workload.Dsl.regs ~mem in
+  if
+    not
+      (res.Vliw_sim.outcome = Interp.Halted
+      && res.Vliw_sim.output = e.scalar.Interp.output)
+  then
+    failwith
+      (Format.asprintf "Harness.measured: %s/%s diverged from scalar"
+         e.workload.Dsl.name model.Model.name);
+  res
+
+let speedup ~scalar ~cycles = float_of_int scalar /. float_of_int cycles
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+           /. float_of_int (List.length xs))

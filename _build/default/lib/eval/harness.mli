@@ -1,0 +1,41 @@
+(** Shared experiment harness: scalar reference runs, profiles, per-model
+    cycle measurements, and speedup arithmetic.
+
+    Methodology (recorded in EXPERIMENTS.md): all figures use the
+    trace-driven cycle estimates so that predicated and non-predicated
+    models are compared under one accounting; the machine-measured cycles
+    of the executable models are reported separately as validation and in
+    the ablations. *)
+
+open Psb_isa
+module Machine_model = Psb_machine.Machine_model
+module Vliw_sim = Psb_machine.Vliw_sim
+open Psb_compiler
+open Psb_workloads
+
+type entry = {
+  workload : Dsl.t;
+  scalar : Interp.result;
+  profile : Psb_cfg.Branch_predict.t;
+}
+
+type t = { machine : Machine_model.t; entries : entry list }
+
+val create : ?machine:Machine_model.t -> ?workloads:Dsl.t list -> unit -> t
+
+val scalar_cycles : entry -> int
+
+val compile : t -> ?machine:Machine_model.t -> Model.t -> entry -> Driver.compiled
+
+val estimated_cycles :
+  t -> ?machine:Machine_model.t -> Model.t -> entry -> int
+(** Trace-driven accounting on the model's schedules. *)
+
+val measured : t -> ?single_shadow:bool ->
+  ?regfile_mode:Psb_machine.Regfile.mode -> Model.t -> entry ->
+  Vliw_sim.result
+(** Run the compiled code on the machine simulator (executable models).
+    Also asserts observable equivalence with the scalar reference. *)
+
+val speedup : scalar:int -> cycles:int -> float
+val geomean : float list -> float

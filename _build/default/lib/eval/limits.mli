@@ -1,0 +1,29 @@
+(** ILP limit study (the paper's §1 motivation, after Lam & Wilson [10]
+    and Wall [20]).
+
+    An oracle dataflow schedule of the dynamic instruction stream: every
+    instruction issues as soon as its operands are ready (infinite
+    resources, perfect renaming and memory disambiguation). Two regimes:
+
+    - {b block-limited}: control dependences are barriers — no instruction
+      issues before the branch that guards it; this is the basic-block ILP
+      the limit studies call "very limited";
+    - {b unconstrained}: control dependences eliminated (perfect
+      speculation of all instructions) — the oracle the predicating
+      mechanism chases.
+
+    The ratio between the two is the headroom that motivates the paper. *)
+
+open Psb_workloads
+
+type row = {
+  name : string;
+  dyn_instrs : int;
+  block_ipc : float;
+  oracle_ipc : float;
+  headroom : float;  (** oracle / block *)
+}
+
+val analyze : Dsl.t -> row
+val analyze_suite : ?workloads:Dsl.t list -> unit -> row list
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Cond Format Instr Label List Opcode Operand Option Program Reg String

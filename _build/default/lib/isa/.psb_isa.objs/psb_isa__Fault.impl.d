@@ -1,0 +1,1 @@
+lib/isa/fault.ml: Format Memory

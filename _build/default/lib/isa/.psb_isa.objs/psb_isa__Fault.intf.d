@@ -1,0 +1,1 @@
+lib/isa/fault.mli: Format Memory

@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Cond Fault Format Instr Int Label List Memory Opcode Operand Program Reg Seq

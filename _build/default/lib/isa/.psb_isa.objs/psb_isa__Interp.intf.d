@@ -1,0 +1,1 @@
+lib/isa/interp.mli: Fault Format Instr Label Memory Program Reg

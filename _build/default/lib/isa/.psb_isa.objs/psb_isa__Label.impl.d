@@ -1,0 +1,1 @@
+lib/isa/label.ml: Format Map Set String

@@ -1,0 +1,1 @@
+lib/isa/memory.ml: Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/isa/pred.ml: Bool Bytes Cond Format List

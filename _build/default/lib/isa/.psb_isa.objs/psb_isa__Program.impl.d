@@ -1,0 +1,1 @@
+lib/isa/program.ml: Cond Format Hashtbl Instr Label List Reg

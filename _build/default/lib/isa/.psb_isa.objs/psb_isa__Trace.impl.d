@@ -1,0 +1,1 @@
+lib/isa/trace.ml: Array Hashtbl Instr Interp Label List Option Program

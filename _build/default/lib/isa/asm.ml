@@ -1,0 +1,173 @@
+let print program = Format.asprintf "%a" Program.pp program
+
+exception Parse_error of int * string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let alu_of_string = function
+  | "add" -> Some Opcode.Add
+  | "sub" -> Some Opcode.Sub
+  | "mul" -> Some Opcode.Mul
+  | "div" -> Some Opcode.Div
+  | "and" -> Some Opcode.And
+  | "or" -> Some Opcode.Or
+  | "xor" -> Some Opcode.Xor
+  | "sll" -> Some Opcode.Sll
+  | "srl" -> Some Opcode.Srl
+  | "sra" -> Some Opcode.Sra
+  | _ -> None
+
+let cmp_of_string = function
+  | "==" -> Some Opcode.Eq
+  | "!=" -> Some Opcode.Ne
+  | "<" -> Some Opcode.Lt
+  | "<=" -> Some Opcode.Le
+  | ">" -> Some Opcode.Gt
+  | ">=" -> Some Opcode.Ge
+  | _ -> None
+
+let parse_reg ln tok =
+  let n = String.length tok in
+  if n >= 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 (n - 1)) with
+    | Some i when i >= 0 -> Reg.make i
+    | _ -> fail ln "bad register %S" tok
+  else fail ln "expected a register, got %S" tok
+
+let parse_cond ln tok =
+  let n = String.length tok in
+  if n >= 2 && tok.[0] = 'c' then
+    match int_of_string_opt (String.sub tok 1 (n - 1)) with
+    | Some i when i >= 0 -> Cond.make i
+    | _ -> fail ln "bad condition %S" tok
+  else fail ln "expected a condition, got %S" tok
+
+let parse_operand ln tok =
+  match int_of_string_opt tok with
+  | Some i -> Operand.imm i
+  | None -> Operand.reg (parse_reg ln tok)
+
+(* "r2+4" or "r2+-4" → (reg, offset) *)
+let parse_addr ln tok =
+  match String.index_opt tok '+' with
+  | None -> fail ln "expected base+offset, got %S" tok
+  | Some i ->
+      let base = parse_reg ln (String.sub tok 0 i) in
+      let off_s = String.sub tok (i + 1) (String.length tok - i - 1) in
+      let off =
+        match int_of_string_opt off_s with
+        | Some o -> o
+        | None -> fail ln "bad offset in %S" tok
+      in
+      (base, off)
+
+let parse_op ln tokens =
+  match tokens with
+  | [ "nop" ] -> Instr.Nop
+  | [ "out"; o ] -> Instr.Out (parse_operand ln o)
+  | [ "store"; addr; "="; src ] ->
+      let base, off = parse_addr ln addr in
+      Instr.Store { src = parse_reg ln src; base; off }
+  | [ dst; "="; "load"; addr ] ->
+      let base, off = parse_addr ln addr in
+      Instr.Load { dst = parse_reg ln dst; base; off }
+  | [ dst; "="; a; op; b ] when cmp_of_string op <> None ->
+      let op = Option.get (cmp_of_string op) in
+      let a = parse_operand ln a and b = parse_operand ln b in
+      if String.length dst > 0 && dst.[0] = 'c' then
+        Instr.Setc { dst = parse_cond ln dst; op; a; b }
+      else Instr.Cmp { dst = parse_reg ln dst; op; a; b }
+  | [ dst; "="; op; a; b ] when alu_of_string op <> None ->
+      Instr.Alu
+        {
+          op = Option.get (alu_of_string op);
+          dst = parse_reg ln dst;
+          a = parse_operand ln a;
+          b = parse_operand ln b;
+        }
+  | [ dst; "="; src ] ->
+      Instr.Mov { dst = parse_reg ln dst; src = parse_operand ln src }
+  | _ -> fail ln "cannot parse instruction: %s" (String.concat " " tokens)
+
+let parse_term ln tokens =
+  match tokens with
+  | [ "halt" ] -> Some Instr.Halt
+  | [ "jmp"; l ] -> Some (Instr.Jmp (Label.make l))
+  | [ "br"; src; "?"; t; ":"; f ] ->
+      Some
+        (Instr.Br
+           {
+             src = parse_reg ln src;
+             if_true = Label.make t;
+             if_false = Label.make f;
+           })
+  | _ -> None
+
+let tokenize line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  try
+    let entry = ref None in
+    let blocks = ref [] in
+    (* current block under construction: (label, rev ops) *)
+    let current : (Label.t * Instr.op list) option ref = ref None in
+    let finish_block ln term =
+      match !current with
+      | None -> fail ln "instruction outside any block"
+      | Some (label, rev_ops) ->
+          blocks := Program.block label (List.rev rev_ops) term :: !blocks;
+          current := None
+    in
+    List.iteri
+      (fun idx line ->
+        let ln = idx + 1 in
+        match tokenize line with
+        | [] -> ()
+        | [ "entry"; l ] ->
+            if !entry <> None then fail ln "duplicate entry declaration";
+            entry := Some (Label.make l)
+        | [ tok ] when String.length tok > 1 && tok.[String.length tok - 1] = ':'
+          ->
+            (match !current with
+            | Some (label, _) ->
+                fail ln "block %s has no terminator" (Label.name label)
+            | None -> ());
+            current := Some (Label.make (String.sub tok 0 (String.length tok - 1)), [])
+        | tokens -> (
+            match parse_term ln tokens with
+            | Some term -> finish_block ln term
+            | None -> (
+                let op = parse_op ln tokens in
+                match !current with
+                | None -> fail ln "instruction outside any block"
+                | Some (label, ops) -> current := Some (label, op :: ops))))
+      lines;
+    (match !current with
+    | Some (label, _) ->
+        raise (Parse_error (List.length lines, "block " ^ Label.name label ^ " has no terminator"))
+    | None -> ());
+    match !entry with
+    | None -> Error "no entry declaration"
+    | Some entry -> (
+        match Program.make ~entry (List.rev !blocks) with
+        | p -> Ok p
+        | exception Invalid_argument m -> Error m)
+  with Parse_error (ln, m) -> Error (Format.asprintf "line %d: %s" ln m)
+
+let op_of_string line =
+  match parse_op 0 (tokenize line) with
+  | op -> Ok op
+  | exception Parse_error (_, m) -> Error m
+
+let parse_exn text =
+  match parse text with Ok p -> p | Error m -> failwith ("Asm.parse: " ^ m)

@@ -1,0 +1,34 @@
+(** Textual assembly format for scalar programs.
+
+    The format is exactly what {!Program.pp} prints, so printing and
+    parsing round-trip:
+
+    {v
+    entry main
+    main:
+      r1 = 0
+      r2 = add r1 5
+      r3 = load r2+4
+      store r2+4 = r3
+      r4 = r1 < r2
+      out r4
+      br r4 ? then : else
+    then:
+      jmp main
+    else:
+      halt
+    v}
+
+    [#] starts a comment to end of line. Blank lines are ignored. *)
+
+val print : Program.t -> string
+
+val parse : string -> (Program.t, string) result
+(** Error messages carry a line number. *)
+
+val parse_exn : string -> Program.t
+(** @raise Failure on parse errors. *)
+
+val op_of_string : string -> (Instr.op, string) result
+(** Parse a single straight-line operation (the instruction grammar used
+    inside blocks), e.g. ["r2 = add r1 5"] or ["c0 = r1 < r2"]. *)

@@ -1,0 +1,14 @@
+type t = int
+
+let make i =
+  if i < 0 then invalid_arg "Cond.make: negative index";
+  i
+
+let index c = c
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf c = Format.fprintf ppf "c%d" c
+let to_string c = Format.asprintf "%a" pp c
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

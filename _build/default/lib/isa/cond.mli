@@ -1,0 +1,21 @@
+(** Branch-condition registers (entries of the CCR).
+
+    In scalar code, conditions are virtual and unbounded; region formation
+    renames the conditions used inside a region onto the [K] physical CCR
+    entries (the paper uses [K] = 4 for the base machine). *)
+
+type t = int
+
+val make : int -> t
+val index : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [c<i>]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

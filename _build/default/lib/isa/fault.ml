@@ -1,0 +1,13 @@
+type t = Mem of Memory.fault | Arith of string
+
+let recoverable = function
+  | Mem f -> not (Memory.is_fatal f)
+  | Arith _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Mem f -> Memory.pp_fault ppf f
+  | Arith s -> Format.fprintf ppf "arithmetic fault: %s" s
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,12 @@
+(** Unified execution faults: memory faults and arithmetic faults.
+
+    Speculative execution buffers either kind with the instruction's
+    predicate (flag E of the destination entry); committed faults are
+    handled if recoverable (demand paging) and fatal otherwise. *)
+
+type t = Mem of Memory.fault | Arith of string
+
+val recoverable : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,111 @@
+type op =
+  | Alu of { op : Opcode.alu; dst : Reg.t; a : Operand.t; b : Operand.t }
+  | Mov of { dst : Reg.t; src : Operand.t }
+  | Load of { dst : Reg.t; base : Reg.t; off : int }
+  | Store of { src : Reg.t; base : Reg.t; off : int }
+  | Cmp of { op : Opcode.cmp; dst : Reg.t; a : Operand.t; b : Operand.t }
+  | Setc of { dst : Cond.t; op : Opcode.cmp; a : Operand.t; b : Operand.t }
+  | Out of Operand.t
+  | Nop
+
+type control =
+  | Br of { src : Reg.t; if_true : Label.t; if_false : Label.t }
+  | Jmp of Label.t
+  | Halt
+
+let defs = function
+  | Alu { dst; _ } | Mov { dst; _ } | Load { dst; _ } | Cmp { dst; _ } ->
+      [ dst ]
+  | Store _ | Setc _ | Out _ | Nop -> []
+
+let uses = function
+  | Alu { a; b; _ } | Cmp { a; b; _ } | Setc { a; b; _ } ->
+      Operand.regs a @ Operand.regs b
+  | Mov { src; _ } | Out src -> Operand.regs src
+  | Load { base; _ } -> [ base ]
+  | Store { src; base; _ } -> [ src; base ]
+  | Nop -> []
+
+let cond_def = function
+  | Setc { dst; _ } -> Some dst
+  | Alu _ | Mov _ | Load _ | Store _ | Cmp _ | Out _ | Nop -> None
+
+let is_load = function
+  | Load _ -> true
+  | Alu _ | Mov _ | Store _ | Cmp _ | Setc _ | Out _ | Nop -> false
+
+let is_store = function
+  | Store _ -> true
+  | Alu _ | Mov _ | Load _ | Cmp _ | Setc _ | Out _ | Nop -> false
+
+let is_memory op = is_load op || is_store op
+
+let is_unsafe = function
+  | Load _ | Store _ -> true
+  | Alu { op; _ } -> Opcode.alu_unsafe op
+  | Cmp _ | Setc _ | Mov _ | Out _ | Nop -> false
+
+let has_side_effect = function
+  | Store _ | Out _ -> true
+  | Alu _ | Mov _ | Load _ | Cmp _ | Setc _ | Nop -> false
+
+let subst_uses ~old ~by op =
+  let s = Operand.subst old by in
+  let sr r = if Reg.equal r old then by else r in
+  match op with
+  | Alu x -> Alu { x with a = s x.a; b = s x.b }
+  | Cmp x -> Cmp { x with a = s x.a; b = s x.b }
+  | Mov x -> Mov { x with src = s x.src }
+  | Load x -> Load { x with base = sr x.base }
+  | Store x -> Store { x with src = sr x.src; base = sr x.base }
+  | Setc x -> Setc { x with a = s x.a; b = s x.b }
+  | Out o -> Out (s o)
+  | Nop -> Nop
+
+let with_dst dst = function
+  | Alu x -> Alu { x with dst }
+  | Mov x -> Mov { x with dst }
+  | Load x -> Load { x with dst }
+  | Cmp x -> Cmp { x with dst }
+  | Store _ | Setc _ | Out _ | Nop ->
+      invalid_arg "Instr.with_dst: operation has no register destination"
+
+let equal_op (a : op) (b : op) = a = b
+let equal_control (a : control) (b : control) = a = b
+
+let control_targets = function
+  | Br { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Jmp l -> [ l ]
+  | Halt -> []
+
+let retarget ctrl ~old ~by =
+  let r l = if Label.equal l old then by else l in
+  match ctrl with
+  | Br b -> Br { b with if_true = r b.if_true; if_false = r b.if_false }
+  | Jmp l -> Jmp (r l)
+  | Halt -> Halt
+
+let pp_op ppf = function
+  | Alu { op; dst; a; b } ->
+      Format.fprintf ppf "%a = %a %a %a" Reg.pp dst Opcode.pp_alu op Operand.pp
+        a Operand.pp b
+  | Mov { dst; src } -> Format.fprintf ppf "%a = %a" Reg.pp dst Operand.pp src
+  | Load { dst; base; off } ->
+      Format.fprintf ppf "%a = load %a+%d" Reg.pp dst Reg.pp base off
+  | Store { src; base; off } ->
+      Format.fprintf ppf "store %a+%d = %a" Reg.pp base off Reg.pp src
+  | Cmp { op; dst; a; b } ->
+      Format.fprintf ppf "%a = %a %a %a" Reg.pp dst Operand.pp a Opcode.pp_cmp
+        op Operand.pp b
+  | Setc { dst; op; a; b } ->
+      Format.fprintf ppf "%a = %a %a %a" Cond.pp dst Operand.pp a Opcode.pp_cmp
+        op Operand.pp b
+  | Out o -> Format.fprintf ppf "out %a" Operand.pp o
+  | Nop -> Format.pp_print_string ppf "nop"
+
+let pp_control ppf = function
+  | Br { src; if_true; if_false } ->
+      Format.fprintf ppf "br %a ? %a : %a" Reg.pp src Label.pp if_true
+        Label.pp if_false
+  | Jmp l -> Format.fprintf ppf "jmp %a" Label.pp l
+  | Halt -> Format.pp_print_string ppf "halt"

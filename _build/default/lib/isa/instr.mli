@@ -1,0 +1,69 @@
+(** Instructions of the MIPS-like scalar ISA.
+
+    Straight-line operations ({!op}) are separated from block terminators
+    ({!control}); a basic block is a list of operations followed by exactly
+    one terminator (see {!Program}). *)
+
+type op =
+  | Alu of { op : Opcode.alu; dst : Reg.t; a : Operand.t; b : Operand.t }
+  | Mov of { dst : Reg.t; src : Operand.t }
+      (** [dst = src]; also serves as load-immediate. *)
+  | Load of { dst : Reg.t; base : Reg.t; off : int }
+      (** [dst = mem[base + off]]; may fault (unsafe). *)
+  | Store of { src : Reg.t; base : Reg.t; off : int }
+      (** [mem[base + off] = src]; may fault. *)
+  | Cmp of { op : Opcode.cmp; dst : Reg.t; a : Operand.t; b : Operand.t }
+      (** Comparison into a general register (0/1), like MIPS [slt]. *)
+  | Setc of { dst : Cond.t; op : Opcode.cmp; a : Operand.t; b : Operand.t }
+      (** Condition-set instruction, e.g. [c0 = r3 < r4]. Machine-level:
+          created by region formation when branches are converted to
+          predicates; scalar programs use {!Cmp} + [Br] instead. *)
+  | Out of Operand.t
+      (** Emit an observable output value (used to compare machine
+          semantics); side-effecting, never speculated. *)
+  | Nop
+
+type control =
+  | Br of { src : Reg.t; if_true : Label.t; if_false : Label.t }
+      (** Two-way conditional branch: taken (to [if_true]) iff the register
+          is non-zero. *)
+  | Jmp of Label.t
+  | Halt
+
+val defs : op -> Reg.t list
+(** Registers written. *)
+
+val uses : op -> Reg.t list
+(** Registers read. *)
+
+val cond_def : op -> Cond.t option
+(** The condition register a [Setc] writes. Operations never read
+    condition registers directly — conditions are consumed through
+    predicates and branch terminators. *)
+
+val is_load : op -> bool
+val is_store : op -> bool
+val is_memory : op -> bool
+
+val is_unsafe : op -> bool
+(** May raise an exception when executed: loads, stores and division. *)
+
+val has_side_effect : op -> bool
+(** Irreversible effect beyond a register write: stores and [Out]. *)
+
+val subst_uses : old:Reg.t -> by:Reg.t -> op -> op
+(** Replace register [old] with [by] in source operands only. *)
+
+val with_dst : Reg.t -> op -> op
+(** Replace the destination register. @raise Invalid_argument if the
+    operation has no register destination. *)
+
+val equal_op : op -> op -> bool
+val equal_control : control -> control -> bool
+
+val control_targets : control -> Label.t list
+val retarget : control -> old:Label.t -> by:Label.t -> control
+(** Replace successor label [old] with [by]. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_control : Format.formatter -> control -> unit

@@ -1,0 +1,159 @@
+type outcome = Halted | Fatal of Fault.t | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  output : int list;
+  cycles : int;
+  dyn_instrs : int;
+  block_trace : Label.t list;
+  regs : int Reg.Map.t;
+  faults_handled : int;
+}
+
+type env = {
+  regs : int array;
+  conds : bool array;
+  written : bool array; (* registers ever written, for the final map *)
+  mem : Memory.t;
+  mutable output_rev : int list;
+  mutable cycles : int;
+  mutable dyn_instrs : int;
+  mutable trace_rev : Label.t list;
+  mutable faults_handled : int;
+  mutable last_load_dst : Reg.t option; (* for the load-use interlock *)
+}
+
+let reg_value env r = env.regs.(Reg.index r)
+
+let set_reg env r v =
+  env.regs.(Reg.index r) <- v;
+  env.written.(Reg.index r) <- true
+
+let operand_value env = function
+  | Operand.Reg r -> reg_value env r
+  | Operand.Imm i -> i
+
+exception Stop of Fault.t
+
+(* Execute one operation, retrying after recoverable faults (the "OS"
+   maps the demand page and the access restarts). *)
+let rec exec_op env op =
+  try
+    match op with
+    | Instr.Alu { op; dst; a; b } ->
+        let v =
+          try Opcode.eval_alu op (operand_value env a) (operand_value env b)
+          with Opcode.Arithmetic_fault m -> raise (Stop (Fault.Arith m))
+        in
+        set_reg env dst v
+    | Instr.Mov { dst; src } -> set_reg env dst (operand_value env src)
+    | Instr.Cmp { op; dst; a; b } ->
+        let v =
+          Opcode.eval_cmp op (operand_value env a) (operand_value env b)
+        in
+        set_reg env dst (if v then 1 else 0)
+    | Instr.Load { dst; base; off } ->
+        set_reg env dst (Memory.read env.mem (reg_value env base + off))
+    | Instr.Store { src; base; off } ->
+        Memory.write env.mem (reg_value env base + off) (reg_value env src)
+    | Instr.Setc { dst; op; a; b } ->
+        env.conds.(Cond.index dst) <-
+          Opcode.eval_cmp op (operand_value env a) (operand_value env b)
+    | Instr.Out o -> env.output_rev <- operand_value env o :: env.output_rev
+    | Instr.Nop -> ()
+  with Memory.Fault f ->
+    if Memory.is_fatal f then raise (Stop (Fault.Mem f))
+    else begin
+      assert (Memory.handle_fault env.mem f);
+      env.faults_handled <- env.faults_handled + 1;
+      exec_op env op
+    end
+
+let charge env op =
+  env.dyn_instrs <- env.dyn_instrs + 1;
+  env.cycles <- env.cycles + 1;
+  (match env.last_load_dst with
+  | Some r when List.exists (Reg.equal r) (Instr.uses op) ->
+      env.cycles <- env.cycles + 1
+  | Some _ | None -> ());
+  env.last_load_dst <- (match op with Instr.Load { dst; _ } -> Some dst | _ -> None)
+
+let default_fuel = 30_000_000
+
+let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ~regs ~mem
+    program =
+  let nregs = max 1 (Program.max_reg program + 1) in
+  let nregs =
+    List.fold_left (fun m (r, _) -> max m (Reg.index r + 1)) nregs regs
+  in
+  let nconds = max 1 (Program.max_cond program + 1) in
+  let env =
+    {
+      regs = Array.make nregs 0;
+      conds = Array.make nconds false;
+      written = Array.make nregs false;
+      mem;
+      output_rev = [];
+      cycles = 0;
+      dyn_instrs = 0;
+      trace_rev = [];
+      faults_handled = 0;
+      last_load_dst = None;
+    }
+  in
+  List.iter (fun (r, v) -> set_reg env r v) regs;
+  let finish outcome =
+    let final_regs =
+      Array.to_seqi env.regs
+      |> Seq.filter (fun (i, _) -> env.written.(i))
+      |> Seq.fold_left (fun m (i, v) -> Reg.Map.add (Reg.make i) v m) Reg.Map.empty
+    in
+    {
+      outcome;
+      output = List.rev env.output_rev;
+      cycles = env.cycles;
+      dyn_instrs = env.dyn_instrs;
+      block_trace = List.rev env.trace_rev;
+      regs = final_regs;
+      faults_handled = env.faults_handled;
+    }
+  in
+  let rec run_block label =
+    if env.dyn_instrs > fuel then finish Out_of_fuel
+    else begin
+      if record_trace then env.trace_rev <- label :: env.trace_rev;
+      let b = Program.find program label in
+      List.iter
+        (fun op ->
+          charge env op;
+          (match observer with
+          | None -> ()
+          | Some f ->
+              let addr =
+                match op with
+                | Instr.Load { base; off; _ } -> Some (reg_value env base + off)
+                | Instr.Store { base; off; _ } -> Some (reg_value env base + off)
+                | _ -> None
+              in
+              f op addr);
+          exec_op env op)
+        b.Program.body;
+      env.dyn_instrs <- env.dyn_instrs + 1;
+      env.cycles <- env.cycles + 1;
+      env.last_load_dst <- None;
+      match b.Program.term with
+      | Instr.Halt -> finish Halted
+      | Instr.Jmp l -> run_block l
+      | Instr.Br { src; if_true; if_false } ->
+          run_block (if reg_value env src <> 0 then if_true else if_false)
+    end
+  in
+  try run_block program.Program.entry with Stop f -> finish (Fatal f)
+
+let equivalent a b =
+  a.outcome = b.outcome && a.output = b.output && Reg.Map.equal Int.equal a.regs b.regs
+
+let pp_outcome ppf = function
+  | Halted -> Format.pp_print_string ppf "halted"
+  | Fatal f -> Format.fprintf ppf "fatal: %a" Fault.pp f
+  | Out_of_fuel -> Format.pp_print_string ppf "out of fuel"

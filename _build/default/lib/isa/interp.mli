@@ -1,0 +1,43 @@
+(** Reference interpreter for scalar programs.
+
+    Plays the role the MIPS R3000 + [pixie] play in the paper: it is both
+    the semantic oracle (final registers, memory, observable output) and
+    the cycle/trace oracle for the evaluation. The cycle model follows the
+    paper's base machine: every instruction takes one cycle, loads take
+    two (a one-cycle stall is charged when the next executed instruction
+    uses the loaded value), and branches are free under the paper's
+    optimistic BTB assumption. Recoverable faults are handled in place
+    (demand page mapped, access retried); fatal faults stop the run. *)
+
+type outcome = Halted | Fatal of Fault.t | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  output : int list;  (** values emitted by [Out], in order *)
+  cycles : int;
+  dyn_instrs : int;
+  block_trace : Label.t list;  (** blocks entered, in order *)
+  regs : int Reg.Map.t;  (** final register file (registers ever written) *)
+  faults_handled : int;
+}
+
+val run :
+  ?fuel:int ->
+  ?record_trace:bool ->
+  ?observer:(Instr.op -> int option -> unit) ->
+  regs:(Reg.t * int) list ->
+  mem:Memory.t ->
+  Program.t ->
+  result
+(** [fuel] bounds the number of dynamic instructions (default 30M).
+    [record_trace] (default true) controls whether [block_trace] is kept.
+    [observer] is called for every executed operation with the memory
+    address it touches, if any — the hook behind trace-driven analyses
+    such as the ILP limit study. [mem] is mutated in place. *)
+
+val equivalent : result -> result -> bool
+(** Same outcome, output and final registers — used to check that compiled
+    code preserves semantics (memory is compared separately with
+    {!Memory.equal}). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,13 @@
+type t = string
+
+let make s =
+  if s = "" then invalid_arg "Label.make: empty label";
+  s
+
+let name l = l
+let equal = String.equal
+let compare = String.compare
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

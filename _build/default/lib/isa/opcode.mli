@@ -1,0 +1,33 @@
+(** Arithmetic/logic and comparison operators of the MIPS-like ISA. *)
+
+type alu =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** integer division; divide by zero is an arithmetic fault *)
+  | And
+  | Or
+  | Xor
+  | Sll  (** shift left logical *)
+  | Srl  (** shift right logical *)
+  | Sra  (** shift right arithmetic *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+exception Arithmetic_fault of string
+(** Raised by {!eval_alu} on division by zero. *)
+
+val eval_alu : alu -> int -> int -> int
+(** [eval_alu op a b] computes [a op b]. Shifts use [b land 63].
+    @raise Arithmetic_fault on division by zero. *)
+
+val eval_cmp : cmp -> int -> int -> bool
+
+val alu_unsafe : alu -> bool
+(** [true] when the operation can fault (division). Unsafe operations are
+    subject to the speculative-exception machinery. *)
+
+val pp_alu : Format.formatter -> alu -> unit
+val pp_cmp : Format.formatter -> cmp -> unit
+val equal_alu : alu -> alu -> bool
+val equal_cmp : cmp -> cmp -> bool

@@ -1,0 +1,19 @@
+type t = Reg of Reg.t | Imm of int
+
+let reg r = Reg r
+let imm i = Imm i
+let regs = function Reg r -> [ r ] | Imm _ -> []
+
+let equal a b =
+  match (a, b) with
+  | Reg r1, Reg r2 -> Reg.equal r1 r2
+  | Imm i1, Imm i2 -> i1 = i2
+  | Reg _, Imm _ | Imm _, Reg _ -> false
+
+let pp ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Format.pp_print_int ppf i
+
+let subst old replacement = function
+  | Reg r when Reg.equal r old -> Reg replacement
+  | (Reg _ | Imm _) as op -> op

@@ -1,0 +1,15 @@
+(** Instruction source operands: a register or an immediate. *)
+
+type t = Reg of Reg.t | Imm of int
+
+val reg : Reg.t -> t
+val imm : int -> t
+
+val regs : t -> Reg.t list
+(** The registers read by the operand ([[]] for an immediate). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val subst : Reg.t -> Reg.t -> t -> t
+(** [subst old replacement op] replaces register [old] with [replacement]. *)

@@ -1,0 +1,91 @@
+type t = bool Cond.Map.t
+(* Invariant: each condition appears at most once, with its required value. *)
+
+type value = True | False | Unspec
+type cond_value = T | F | U
+
+let always = Cond.Map.empty
+let is_always = Cond.Map.is_empty
+
+let conj p c v =
+  match Cond.Map.find_opt c p with
+  | None -> Cond.Map.add c v p
+  | Some v' when v = v' -> p
+  | Some _ ->
+      invalid_arg
+        (Format.asprintf "Pred.conj: contradictory literal on %a" Cond.pp c)
+
+let of_list lits = List.fold_left (fun p (c, v) -> conj p c v) always lits
+let literals p = Cond.Map.bindings p
+let conds p = Cond.Map.fold (fun c _ acc -> Cond.Set.add c acc) p Cond.Set.empty
+let arity p = Cond.Map.cardinal p
+let requires p c = Cond.Map.find_opt c p
+
+let eval p lookup =
+  let exception Unspecified in
+  try
+    let matched =
+      Cond.Map.for_all
+        (fun c v ->
+          match lookup c with
+          | U -> raise Unspecified
+          | T -> v
+          | F -> not v)
+        p
+    in
+    if matched then True else False
+  with Unspecified -> Unspec
+
+let eval_early_false p lookup =
+  let any_false =
+    Cond.Map.exists
+      (fun c v ->
+        match lookup c with T -> not v | F -> v | U -> false)
+      p
+  in
+  if any_false then False
+  else
+    let any_unspec = Cond.Map.exists (fun c _ -> lookup c = U) p in
+    if any_unspec then Unspec else True
+
+let implies p q =
+  Cond.Map.for_all
+    (fun c v -> match Cond.Map.find_opt c p with Some v' -> v = v' | None -> false)
+    q
+
+let disjoint p q =
+  Cond.Map.exists
+    (fun c v -> match Cond.Map.find_opt c q with Some v' -> v <> v' | None -> false)
+    p
+
+let equal = Cond.Map.equal Bool.equal
+let compare = Cond.Map.compare Bool.compare
+
+let rename f p =
+  Cond.Map.fold (fun c v acc -> conj acc (f c) v) p always
+
+let to_vector ~width p =
+  let buf = Bytes.make width 'X' in
+  Cond.Map.iter
+    (fun c v ->
+      let i = Cond.index c in
+      if i >= width then
+        invalid_arg
+          (Format.asprintf "Pred.to_vector: %a out of CCR width %d" Cond.pp c
+             width);
+      Bytes.set buf i (if v then '1' else '0'))
+    p;
+  Bytes.to_string buf
+
+let pp ppf p =
+  if is_always p then Format.pp_print_string ppf "alw"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "&")
+      (fun ppf (c, v) ->
+        if v then Cond.pp ppf c else Format.fprintf ppf "!%a" Cond.pp c)
+      ppf (literals p)
+
+let pp_value ppf v =
+  Format.pp_print_string ppf
+    (match v with True -> "T" | False -> "F" | Unspec -> "U")

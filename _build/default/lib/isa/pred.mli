@@ -1,0 +1,77 @@
+(** Predicates: conjunctions of (possibly negated) branch conditions.
+
+    The paper restricts predicate expressions to an ANDed operation with
+    negation (e.g. [c1 & !c2 & c3]) so that a predicate can be encoded as a
+    ternary vector over the CCR entries — one of required-true ([1]),
+    required-false ([0]) or don't-care ([X]) per condition — and evaluated
+    by a simple masked-match operation (three gate delays, §4.2.1). *)
+
+type t
+
+type value = True | False | Unspec
+(** Result of evaluating a predicate against the CCR. *)
+
+type cond_value = T | F | U
+(** Value of a single branch condition: true, false, or not yet specified. *)
+
+val always : t
+(** The empty conjunction, written [alw] in the paper: always true. *)
+
+val is_always : t -> bool
+
+val of_list : (Cond.t * bool) list -> t
+(** [of_list [(c0, true); (c2, false)]] is the predicate [c0 & !c2].
+    @raise Invalid_argument if the same condition appears with both
+    polarities. *)
+
+val conj : t -> Cond.t -> bool -> t
+(** [conj p c v] is [p & (c = v)].
+    @raise Invalid_argument if [p] already requires [c = not v]. *)
+
+val literals : t -> (Cond.t * bool) list
+(** Sorted by condition index. *)
+
+val conds : t -> Cond.Set.t
+val arity : t -> int
+(** Number of branch conditions the predicate depends on. *)
+
+val requires : t -> Cond.t -> bool option
+(** [requires p c] is [Some v] if [p] contains the literal [c = v]. *)
+
+val eval : t -> (Cond.t -> cond_value) -> value
+(** Hardware evaluation rule (§3.2): if any required condition is
+    unspecified the result is [Unspec] regardless of the other literals;
+    otherwise [True] iff every literal matches. *)
+
+val eval_early_false : t -> (Cond.t -> cond_value) -> value
+(** Stricter rule used in ablations: a single mismatching specified literal
+    makes the predicate [False] even while other literals are unspecified.
+    Semantically equivalent (the state is squashed either way) but frees
+    shadow storage earlier. *)
+
+val implies : t -> t -> bool
+(** [implies p q]: whenever [p] is true, [q] is true (the literals of [q]
+    are a subset of those of [p]). *)
+
+val disjoint : t -> t -> bool
+(** [disjoint p q]: [p] and [q] cannot both be true (they contain a
+    condition with opposite polarities). Instructions with disjoint
+    predicates lie on mutually exclusive control paths. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val rename : (Cond.t -> Cond.t) -> t -> t
+(** Rename the conditions (used to map virtual conditions onto the [K]
+    physical CCR entries of a region).
+    @raise Invalid_argument if the renaming merges two literals with
+    opposite polarities. *)
+
+val to_vector : width:int -> t -> string
+(** Ternary-vector encoding over CCR entries [0 .. width-1], e.g. ["1X0"].
+    @raise Invalid_argument if a condition index is [>= width]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [alw], or the conjunction, e.g. [c0&!c2]. *)
+
+val pp_value : Format.formatter -> value -> unit

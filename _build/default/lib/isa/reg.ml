@@ -1,0 +1,15 @@
+type t = int
+
+let make i =
+  if i < 0 then invalid_arg "Reg.make: negative index";
+  i
+
+let index r = r
+let equal = Int.equal
+let compare = Int.compare
+let hash r = r
+let pp ppf r = Format.fprintf ppf "r%d" r
+let to_string r = Format.asprintf "%a" pp r
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

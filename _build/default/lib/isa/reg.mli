@@ -1,0 +1,24 @@
+(** General-purpose registers of the PSB machine.
+
+    Registers are identified by a small integer index. Register [r0] is an
+    ordinary register (no hard-wired zero); workload builders allocate
+    registers through {!fresh} counters of their own. *)
+
+type t = int
+
+val make : int -> t
+(** [make i] is register [ri]. Raises [Invalid_argument] if [i < 0]. *)
+
+val index : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [r<i>]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

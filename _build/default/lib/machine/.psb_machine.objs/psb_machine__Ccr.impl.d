@@ -1,0 +1,1 @@
+lib/machine/ccr.ml: Array Cond Format Pred Psb_isa

@@ -1,0 +1,1 @@
+lib/machine/ccr.mli: Cond Format Pred Psb_isa

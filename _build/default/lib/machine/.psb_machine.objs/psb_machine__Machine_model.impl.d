@@ -1,0 +1,1 @@
+lib/machine/machine_model.ml: Format Instr Psb_isa

@@ -1,0 +1,1 @@
+lib/machine/pcode.ml: Array Cond Format Hashtbl Instr Label List Machine_model Option Pred Psb_isa Reg Seq

@@ -1,0 +1,1 @@
+lib/machine/pcode.mli: Format Instr Label Machine_model Pred Psb_isa Reg

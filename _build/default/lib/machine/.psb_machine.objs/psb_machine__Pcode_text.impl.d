@@ -1,0 +1,1 @@
+lib/machine/pcode_text.ml: Array Asm Cond Format Label List Pcode Pred Psb_isa Reg String

@@ -1,0 +1,1 @@
+lib/machine/pcode_text.mli: Pcode

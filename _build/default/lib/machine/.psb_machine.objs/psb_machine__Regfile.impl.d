@@ -1,0 +1,1 @@
+lib/machine/regfile.ml: Array Fault List Pred Psb_isa Reg Seq

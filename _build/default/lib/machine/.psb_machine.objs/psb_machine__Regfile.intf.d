@@ -1,0 +1,1 @@
+lib/machine/regfile.mli: Cond Fault Pred Psb_isa Reg

@@ -1,0 +1,1 @@
+lib/machine/scalar_sim.ml: Interp Psb_isa

@@ -1,0 +1,1 @@
+lib/machine/scalar_sim.mli: Instr Interp Memory Program Psb_isa Reg

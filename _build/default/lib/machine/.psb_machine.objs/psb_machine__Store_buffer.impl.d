@@ -1,0 +1,1 @@
+lib/machine/store_buffer.ml: Fault List Memory Pred Psb_isa

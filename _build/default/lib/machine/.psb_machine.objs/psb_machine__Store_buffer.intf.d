@@ -1,0 +1,1 @@
+lib/machine/store_buffer.mli: Cond Fault Memory Pred Psb_isa

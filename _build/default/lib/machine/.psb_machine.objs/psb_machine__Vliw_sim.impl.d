@@ -1,0 +1,1 @@
+lib/machine/vliw_sim.ml: Array Ccr Cond Fault Format Instr Interp Label List Machine_model Memory Opcode Operand Option Pcode Pred Psb_isa Reg Regfile Store_buffer

@@ -1,0 +1,1 @@
+lib/machine/vliw_sim.mli: Format Interp Machine_model Memory Pcode Psb_isa Reg Regfile

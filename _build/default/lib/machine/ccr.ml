@@ -1,0 +1,45 @@
+open Psb_isa
+
+type t = Pred.cond_value array
+
+let create ~width =
+  if width <= 0 then invalid_arg "Ccr.create: width must be positive";
+  Array.make width Pred.U
+
+let width = Array.length
+
+let get t c =
+  let i = Cond.index c in
+  if i >= Array.length t then
+    invalid_arg (Format.asprintf "Ccr.get: %a outside CCR" Cond.pp c);
+  t.(i)
+
+let set t c v =
+  let i = Cond.index c in
+  if i >= Array.length t then
+    invalid_arg (Format.asprintf "Ccr.set: %a outside CCR" Cond.pp c);
+  t.(i) <- (if v then Pred.T else Pred.F)
+
+let reset t = Array.fill t 0 (Array.length t) Pred.U
+let copy t = Array.copy t
+
+let assign t ~from =
+  if Array.length t <> Array.length from then
+    invalid_arg "Ccr.assign: width mismatch";
+  Array.blit from 0 t 0 (Array.length t)
+
+let lookup t c = get t c
+let eval t p = Pred.eval p (lookup t)
+
+let all_specified t p =
+  Cond.Set.for_all (fun c -> get t c <> Pred.U) (Pred.conds p)
+
+let pp ppf t =
+  Format.pp_print_string ppf "{";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_string ppf ",";
+      Format.pp_print_string ppf
+        (match v with Pred.T -> "T" | Pred.F -> "F" | Pred.U -> "U"))
+    t;
+  Format.pp_print_string ppf "}"

@@ -1,0 +1,26 @@
+(** Condition code register: [K] branch conditions, each true, false or
+    unspecified. Conditions are region-local: {!reset} is applied by the
+    hardware on every region transition (§3.3). *)
+
+open Psb_isa
+
+type t
+
+val create : width:int -> t
+val width : t -> int
+
+val get : t -> Cond.t -> Pred.cond_value
+(** @raise Invalid_argument if the condition is outside the CCR. *)
+
+val set : t -> Cond.t -> bool -> unit
+val reset : t -> unit
+val copy : t -> t
+val assign : t -> from:t -> unit
+(** Overwrite the contents of [t] with those of [from]. *)
+
+val lookup : t -> Cond.t -> Pred.cond_value
+(** Same as {!get}; shaped for {!Pred.eval}. *)
+
+val eval : t -> Pred.t -> Pred.value
+val all_specified : t -> Pred.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type params = {
+  nregs : int;
+  width : int;
+  read_ports : int;
+  write_ports : int;
+  ccr_size : int;
+  shadow_read_ports : int;
+  shadow_write_ports : int;
+}
+
+let default =
+  {
+    nregs = 32;
+    width = 32;
+    read_ports = 8;
+    write_ports = 4;
+    ccr_size = 4;
+    (* The shadow value is read through the same operand-fetch path but
+       needs its own write ports for speculative writebacks plus the
+       commit-copy path. *)
+    shadow_read_ports = 8;
+    shadow_write_ports = 1;
+  }
+
+type report = {
+  base_transistors : int;
+  storage_transistors : int;
+  commit_transistors : int;
+  storage_overhead : float;
+  commit_overhead : float;
+  total_overhead : float;
+  eval_gate_levels : int;
+  encode_bits_region : int;
+  encode_bits_trace : int;
+  encode_bits_srcs : int;
+}
+
+(* A multi-ported SRAM cell: a cross-coupled pair (4T) plus one pass
+   transistor per single-ended port connection. *)
+let cell_transistors ~read_ports ~write_ports = 4 + read_ports + write_ports
+
+let xor_t = 6 (* CMOS XOR *)
+let or_t = 4
+let and_t = 4
+let flipflop_t = 8
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let analyze p =
+  let base_cell = cell_transistors ~read_ports:p.read_ports ~write_ports:p.write_ports in
+  let base = p.nregs * p.width * base_cell in
+  let shadow_cell =
+    cell_transistors ~read_ports:p.shadow_read_ports ~write_ports:p.shadow_write_ports
+  in
+  let storage = p.nregs * p.width * shadow_cell in
+  (* Commit hardware per entry: 2K bits of ternary predicate storage, the
+     masked-match logic (XOR + OR per condition, an AND tree), the three
+     flags (W, V, E) and their update logic. *)
+  let pred_storage = 2 * p.ccr_size * flipflop_t in
+  let match_logic = p.ccr_size * (xor_t + or_t) + (p.ccr_size - 1) * and_t in
+  let flags = 3 * (flipflop_t + and_t) in
+  let commit = p.nregs * (pred_storage + match_logic + flags) in
+  let fb = float_of_int base in
+  {
+    base_transistors = base;
+    storage_transistors = storage;
+    commit_transistors = commit;
+    storage_overhead = float_of_int storage /. fb;
+    commit_overhead = float_of_int commit /. fb;
+    total_overhead = float_of_int (storage + commit) /. fb;
+    eval_gate_levels = 3;
+    encode_bits_region = 2 * p.ccr_size;
+    encode_bits_trace = ceil_log2 p.ccr_size + 1;
+    encode_bits_srcs = 2;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>base register file:     %d transistors@,\
+     speculative storage:   +%d (%.0f%%)@,\
+     commit hardware:       +%d (%.0f%%)@,\
+     total overhead:        %.0f%%@,\
+     predicate evaluation:  %d gate levels@,\
+     encoding: region +%d predicate bits, trace +%d bits, +%d source bits@]"
+    r.base_transistors r.storage_transistors (100. *. r.storage_overhead)
+    r.commit_transistors (100. *. r.commit_overhead)
+    (100. *. r.total_overhead) r.eval_gate_levels r.encode_bits_region
+    r.encode_bits_trace r.encode_bits_srcs

@@ -1,0 +1,45 @@
+(** Analytic hardware-cost model (§4.2.1).
+
+    The paper quantifies the cost of predicating as: the extra speculative
+    storage adds 76% of the transistors of a normal 8-read/4-write 32-entry
+    register file; the commit hardware (predicate storage, per-entry
+    evaluation logic, flags) adds another 31%; 107% in total. Predicate
+    evaluation is a three-gate-level masked match (XOR per entry, OR for
+    the mask, AND for the total match). The instruction encoding grows by
+    [2K] bits of predicate ([ceil(log2 K)+1] in the trace-predicating
+    variant) plus one bit per source register.
+
+    The model below recomputes these quantities from first principles
+    (multi-ported SRAM cell transistor counts) so the trade-off can be
+    explored at other design points. *)
+
+type params = {
+  nregs : int;
+  width : int;  (** bits per register *)
+  read_ports : int;
+  write_ports : int;
+  ccr_size : int;  (** K *)
+  shadow_read_ports : int;
+      (** the speculative storage needs fewer ports: it is read only by the
+          operand-fetch fallback path and written by the spec writeback *)
+  shadow_write_ports : int;
+}
+
+val default : params
+(** The paper's design point: 32 registers, 32 bits, 8R/4W, K = 4. *)
+
+type report = {
+  base_transistors : int;  (** normal register file *)
+  storage_transistors : int;  (** additional speculative storage *)
+  commit_transistors : int;  (** predicates + evaluation + flags *)
+  storage_overhead : float;  (** storage_transistors / base (paper: 0.76) *)
+  commit_overhead : float;  (** commit_transistors / base (paper: 0.31) *)
+  total_overhead : float;  (** paper: 1.07 *)
+  eval_gate_levels : int;  (** paper: 3 *)
+  encode_bits_region : int;  (** predicate bits, region predicating: 2K *)
+  encode_bits_trace : int;  (** trace predicating: ceil(log2 K) + 1 *)
+  encode_bits_srcs : int;  (** shadow-state bits, one per source *)
+}
+
+val analyze : params -> report
+val pp_report : Format.formatter -> report -> unit

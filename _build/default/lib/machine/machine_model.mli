@@ -1,0 +1,50 @@
+(** Machine configurations.
+
+    The paper's base VLIW machine (§4): 4 ALUs, 4 branch units, 2 load
+    units, 1 store unit, up to 4 instructions issued per cycle, CCR with 4
+    entries, load latency 2 cycles, all other latencies 1.
+
+    "Full-issue" machines (Figure 8) duplicate every resource to the issue
+    width. *)
+
+open Psb_isa
+
+type t = {
+  issue_width : int;
+  alu_units : int;
+  branch_units : int;  (** jump/exit slots per cycle *)
+  load_units : int;
+  store_units : int;
+  ccr_size : int;  (** number of branch conditions, K *)
+  load_latency : int;
+  int_latency : int;
+  max_spec_conds : int;
+      (** how many unresolved branch conditions an instruction may be
+          speculated past (Figure 8 sweeps 1/2/4/8) *)
+  transition_penalty : int;
+      (** extra cycles charged on a region transition; 0 under the paper's
+          optimistic BTB assumption, 1 models a BTB-miss redirect (the
+          paper notes the optimism is worth "a few percent") *)
+  sb_capacity : int;
+      (** store-buffer entries; a bundle carrying a store stalls while the
+          FIFO is full *)
+  dcache_ports : int;
+      (** D-cache write ports: store-buffer entries drained per cycle *)
+}
+
+val base : t
+(** The paper's base 4-issue machine. *)
+
+val scalar : t
+(** Single-issue reference (R3000-like). *)
+
+val full_issue : width:int -> max_spec_conds:int -> t
+(** Fully duplicated resources at the given issue width (Figure 8). *)
+
+val latency : t -> Instr.op -> int
+
+type unit_class = Alu_unit | Branch_unit | Load_unit | Store_unit
+
+val unit_of_op : Instr.op -> unit_class
+val units_available : t -> unit_class -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(** Predicated VLIW code: the compiler's output and the machine's input.
+
+    A program is a set of {e regions}; each region is a straight line of
+    VLIW bundles (one bundle issues per cycle). Control transfer inside a
+    region has been eliminated by predication; leaving a region happens
+    through predicated {e exit} slots, which fire when their predicate
+    evaluates true against the CCR. Condition registers are region-local:
+    the CCR is reset on every region transition (§3.3). *)
+
+open Psb_isa
+
+type pinstr = {
+  pred : Pred.t;
+  op : Instr.op;
+  shadow_srcs : Reg.Set.t;
+      (** source registers the instruction fetches from the speculative
+          state ([.s] suffix in the paper); the hardware falls back to the
+          sequential register when the shadow entry is invalid (§3.5) *)
+}
+
+type exit_target = To_region of Label.t | Stop
+
+type slot =
+  | Op of pinstr
+  | Exit of { pred : Pred.t; target : exit_target }
+
+type bundle = slot list
+
+type region = {
+  name : Label.t;
+  code : bundle array;
+  source_blocks : Label.t list;
+      (** scalar blocks this region was built from (diagnostics) *)
+}
+
+type t = { entry : Label.t; regions : region list }
+
+val op : ?shadow_srcs:Reg.Set.t -> Pred.t -> Instr.op -> slot
+val exit_to : Pred.t -> Label.t -> slot
+val exit_stop : Pred.t -> slot
+
+val make : entry:Label.t -> region list -> t
+(** Validates region-name uniqueness, entry and exit-target resolution,
+    and that the final bundle of each region contains an exit slot (the
+    exit predicates together must be exhaustive; the machine checks this
+    dynamically). @raise Invalid_argument otherwise. *)
+
+val find_region : t -> Label.t -> region
+val num_regions : t -> int
+val num_slots : t -> int
+val num_bundles : t -> int
+
+val slot_pred : slot -> Pred.t
+
+val check_resources : Machine_model.t -> t -> (unit, string) result
+(** Every bundle must fit the machine's issue width and function units,
+    and every predicate must fit the CCR. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_region : Format.formatter -> region -> unit

@@ -1,0 +1,167 @@
+open Psb_isa
+
+let print code = Format.asprintf "%a" Pcode.pp code
+
+exception Err of int * string
+
+let fail ln fmt = Format.kasprintf (fun s -> raise (Err (ln, s))) fmt
+
+let strip s =
+  let is_ws c = c = ' ' || c = '\t' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_ws s.[!i] do incr i done;
+  while !j >= !i && is_ws s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+let split_on_substring ~sep s =
+  let seplen = String.length sep in
+  let rec go acc start =
+    match
+      let rec find i =
+        if i + seplen > String.length s then None
+        else if String.sub s i seplen = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+    | Some i -> go (String.sub s start (i - start) :: acc) (i + seplen)
+  in
+  go [] 0
+
+let parse_pred ln s =
+  let s = strip s in
+  if s = "alw" then Pred.always
+  else
+    String.split_on_char '&' s
+    |> List.fold_left
+         (fun p lit ->
+           let lit = strip lit in
+           let neg = String.length lit > 0 && lit.[0] = '!' in
+           let name = if neg then String.sub lit 1 (String.length lit - 1) else lit in
+           if String.length name < 2 || name.[0] <> 'c' then
+             fail ln "bad predicate literal %S" lit
+           else
+             match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+             | Some i when i >= 0 -> (
+                 match Pred.conj p (Cond.make i) (not neg) with
+                 | p -> p
+                 | exception Invalid_argument m -> fail ln "%s" m)
+             | _ -> fail ln "bad predicate literal %S" lit)
+         Pred.always
+
+let parse_shadow ln s =
+  (* "[shadow:r1 r2]" *)
+  let inner = String.sub s 8 (String.length s - 9) in
+  String.split_on_char ' ' inner
+  |> List.filter (fun t -> t <> "")
+  |> List.fold_left
+       (fun acc tok ->
+         if String.length tok >= 2 && tok.[0] = 'r' then
+           match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+           | Some i when i >= 0 -> Reg.Set.add (Reg.make i) acc
+           | _ -> fail ln "bad shadow register %S" tok
+         else fail ln "bad shadow register %S" tok)
+       Reg.Set.empty
+
+let parse_slot ln s =
+  let s = strip s in
+  match split_on_substring ~sep:" ? " s with
+  | [ pred_s; rest ] -> (
+      let pred = parse_pred ln pred_s in
+      let rest = strip rest in
+      if rest = "halt" then Pcode.exit_stop pred
+      else if String.length rest > 2 && String.sub rest 0 2 = "j " then
+        Pcode.exit_to pred (Label.make (strip (String.sub rest 2 (String.length rest - 2))))
+      else
+        let body, shadow =
+          match String.index_opt rest '[' with
+          | Some i when String.length rest - i >= 9
+                        && String.sub rest i 8 = "[shadow:" ->
+              ( strip (String.sub rest 0 i),
+                parse_shadow ln (String.sub rest i (String.length rest - i)) )
+          | _ -> (rest, Reg.Set.empty)
+        in
+        match Asm.op_of_string body with
+        | Ok op -> Pcode.op ~shadow_srcs:shadow pred op
+        | Error m -> fail ln "%s" m)
+  | _ -> fail ln "expected `PRED ? OP`, got %S" s
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  try
+    let entry = ref None in
+    let regions = ref [] in
+    let current : (Label.t * Pcode.bundle list) option ref = ref None in
+    let finish () =
+      match !current with
+      | None -> ()
+      | Some (name, rev_bundles) ->
+          regions :=
+            {
+              Pcode.name;
+              code = Array.of_list (List.rev rev_bundles);
+              source_blocks = [];
+            }
+            :: !regions;
+          current := None
+    in
+    List.iteri
+      (fun idx raw ->
+        let ln = idx + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let line = strip line in
+        if line = "" then ()
+        else if String.length line > 6 && String.sub line 0 6 = "entry " then begin
+          if !entry <> None then fail ln "duplicate entry declaration";
+          entry := Some (Label.make (strip (String.sub line 6 (String.length line - 6))))
+        end
+        else if
+          String.length line > 7
+          && String.sub line 0 7 = "region "
+          && line.[String.length line - 1] = ':'
+        then begin
+          finish ();
+          current :=
+            Some (Label.make (strip (String.sub line 7 (String.length line - 8))), [])
+        end
+        else if String.length line > 0 && line.[0] = '(' then begin
+          match String.index_opt line ')' with
+          | None -> fail ln "missing bundle index"
+          | Some i -> (
+              let n =
+                match int_of_string_opt (String.sub line 1 (i - 1)) with
+                | Some n -> n
+                | None -> fail ln "bad bundle index"
+              in
+              let rest = String.sub line (i + 1) (String.length line - i - 1) in
+              let bundle =
+                if strip rest = "" then []
+                else split_on_substring ~sep:"||" rest |> List.map (parse_slot ln)
+              in
+              match !current with
+              | None -> fail ln "bundle outside any region"
+              | Some (name, bs) ->
+                  if List.length bs <> n then
+                    fail ln "bundle index %d out of sequence (expected %d)" n
+                      (List.length bs);
+                  current := Some (name, bundle :: bs))
+        end
+        else fail ln "cannot parse line %S" line)
+      lines;
+    finish ();
+    match !entry with
+    | None -> Error "no entry declaration"
+    | Some entry -> (
+        match Pcode.make ~entry (List.rev !regions) with
+        | code -> Ok code
+        | exception Invalid_argument m -> Error m)
+  with Err (ln, m) -> Error (Format.asprintf "line %d: %s" ln m)
+
+let parse_exn text =
+  match parse text with Ok c -> c | Error m -> failwith ("Pcode_text.parse: " ^ m)

@@ -1,0 +1,25 @@
+(** Textual format for predicated VLIW code — the machine-level twin of
+    {!Psb_isa.Asm}. Prints exactly what {!Pcode.pp} prints and parses it
+    back, so hand-written predicated programs (like the paper's Figure 4)
+    can live in [.ppsb] files:
+
+    {v
+    entry L4
+    region L4:
+      (0) alw ? r1 = load r2+0 || c0&c1 ? r2 = sub r2 1
+      (1) !c0 ? r5 = load r8+0 || c0&c1 ? store r7+0 = r5
+      (2) alw ? r3 = add r1 1 || c0&c1 ? r7 = sll r2 1 [shadow:r2]
+      ...
+      (6) c0&!c1 ? j L5 || c0&c1 ? j L8
+    v}
+
+    [#] starts a comment. Bundle indices [(n)] are checked to be
+    consecutive within a region. *)
+
+val print : Pcode.t -> string
+
+val parse : string -> (Pcode.t, string) result
+(** Errors carry a line number. Validation is {!Pcode.make}'s. *)
+
+val parse_exn : string -> Pcode.t
+(** @raise Failure on parse errors. *)

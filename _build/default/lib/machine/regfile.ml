@@ -1,0 +1,161 @@
+open Psb_isa
+
+type mode = Single | Infinite
+
+type version = {
+  value : int;
+  pred : Pred.t;
+  fault : Fault.t option;
+  seqno : int; (* issue order, newest wins on reads *)
+}
+
+type entry = {
+  mutable seq : int;
+  mutable written : bool;
+  mutable versions : version list; (* valid speculative versions, newest first *)
+}
+
+type t = {
+  mode : mode;
+  entries : entry array;
+  mutable conflicts : int;
+  mutable spec_writes : int;
+  mutable commits : int;
+  mutable squashes : int;
+  mutable next_seqno : int;
+}
+
+let create ?(mode = Single) ~nregs () =
+  {
+    mode;
+    entries =
+      Array.init (max nregs 1) (fun _ ->
+          { seq = 0; written = false; versions = [] });
+    conflicts = 0;
+    spec_writes = 0;
+    commits = 0;
+    squashes = 0;
+    next_seqno = 0;
+  }
+
+let nregs t = Array.length t.entries
+let mode t = t.mode
+let entry t r = t.entries.(Reg.index r)
+let read_seq t r = (entry t r).seq
+
+(* Pick the speculative version a reader with predicate [pred] should see:
+   the newest version whose predicate is not on a mutually-exclusive path.
+   In the Single model there is at most one version. *)
+let pick_version e ~pred =
+  List.find_opt (fun v -> not (Pred.disjoint v.pred pred)) e.versions
+
+let read t r ~shadow ~pred =
+  let e = entry t r in
+  if shadow then
+    match pick_version e ~pred with Some v -> v.value | None -> e.seq
+  else e.seq
+
+let read_fault t r ~shadow ~pred =
+  let e = entry t r in
+  if shadow then
+    match pick_version e ~pred with Some v -> v.fault | None -> None
+  else None
+
+let write_seq t r v =
+  let e = entry t r in
+  e.seq <- v;
+  e.written <- true
+
+let write_spec t r value ~pred ~fault =
+  let e = entry t r in
+  t.spec_writes <- t.spec_writes + 1;
+  (* A same-predicate rewrite (speculative WAW on one path) takes the new
+     value, but flag E is sticky: an outstanding exception buffered in the
+     overwritten version must still be detected when the predicate commits
+     — the excepting instruction's result may be dead, its exception is
+     not. Recovery re-executes both instructions in order, so the final
+     value regenerates correctly. The earliest fault wins, matching the
+     order recovery would handle them. *)
+  let merge_fault old_fault =
+    match old_fault with Some f -> Some f | None -> fault
+  in
+  let fresh = { value; pred; fault; seqno = t.next_seqno } in
+  t.next_seqno <- t.next_seqno + 1;
+  match t.mode with
+  | Infinite ->
+      let same, rest =
+        List.partition (fun v -> Pred.equal v.pred pred) e.versions
+      in
+      let fresh =
+        match same with
+        | v :: _ -> { fresh with fault = merge_fault v.fault }
+        | [] -> fresh
+      in
+      e.versions <- fresh :: rest;
+      `Ok
+  | Single -> (
+      match e.versions with
+      | [] ->
+          e.versions <- [ fresh ];
+          `Ok
+      | [ v ] when Pred.equal v.pred pred ->
+          e.versions <- [ { fresh with fault = merge_fault v.fault } ];
+          `Ok
+      | _ ->
+          t.conflicts <- t.conflicts + 1;
+          `Conflict)
+
+let committing_exceptions t lookup =
+  Array.to_seqi t.entries
+  |> Seq.concat_map (fun (i, e) ->
+         List.to_seq e.versions
+         |> Seq.filter_map (fun v ->
+                match v.fault with
+                | Some f when Pred.eval v.pred lookup = Pred.True ->
+                    Some (Reg.make i, f)
+                | Some _ | None -> None))
+  |> List.of_seq
+
+let tick t lookup =
+  let events = ref [] in
+  Array.iteri
+    (fun idx e ->
+      if e.versions <> [] then begin
+        (* Commits are processed oldest-first so that if several versions
+           of the same register commit in one cycle (compiler bug in the
+           Single model, possible WAW in Infinite), the newest wins. *)
+        let committing, rest =
+          List.partition (fun v -> Pred.eval v.pred lookup = Pred.True) e.versions
+        in
+        (match List.sort (fun a b -> compare a.seqno b.seqno) committing with
+        | [] -> ()
+        | winners ->
+            List.iter
+              (fun v ->
+                assert (v.fault = None);
+                t.commits <- t.commits + 1;
+                e.seq <- v.value;
+                e.written <- true)
+              winners;
+            events := (Reg.make idx, `Commit) :: !events);
+        let keep, squashed =
+          List.partition (fun v -> Pred.eval v.pred lookup <> Pred.False) rest
+        in
+        t.squashes <- t.squashes + List.length squashed;
+        if squashed <> [] then events := (Reg.make idx, `Squash) :: !events;
+        e.versions <- keep
+      end)
+    t.entries;
+  List.rev !events
+
+let invalidate_spec t = Array.iter (fun e -> e.versions <- []) t.entries
+let has_spec t = Array.exists (fun e -> e.versions <> []) t.entries
+let conflicts t = t.conflicts
+let spec_writes t = t.spec_writes
+let commits t = t.commits
+let squashes t = t.squashes
+
+let final_state t =
+  Array.to_seqi t.entries
+  |> Seq.filter (fun (_, e) -> e.written)
+  |> Seq.fold_left (fun m (i, e) -> Reg.Map.add (Reg.make i) e.seq m) Reg.Map.empty

@@ -1,0 +1,70 @@
+(** Predicated register file (Figure 2).
+
+    Each entry holds a sequential value and (at most) one speculative value
+    labelled with its predicate, plus flags: V (speculative value valid) and
+    E (outstanding speculative exception). The paper's W flag — which of the
+    two physical storages currently holds the speculative value, flipped on
+    commit to avoid a copy — is an implementation trick; here commit copies
+    the shadow into the sequential storage, which is observably identical.
+
+    Two capacity models: [Single] (the paper's cost-reduced design — a
+    second same-register speculative write with a different predicate is a
+    {e storage conflict} and must stall, footnote 1) and [Infinite]
+    (the idealised design used to bound the cost of that choice). *)
+
+open Psb_isa
+
+type mode = Single | Infinite
+
+type t
+
+val create : ?mode:mode -> nregs:int -> unit -> t
+val nregs : t -> int
+val mode : t -> mode
+
+val read_seq : t -> Reg.t -> int
+
+val read : t -> Reg.t -> shadow:bool -> pred:Pred.t -> int
+(** Operand fetch. With [shadow:true] the speculative value is returned if
+    valid, falling back to the sequential register otherwise (the §3.5
+    operand-fetch fix). [pred] is the reader's predicate, used in the
+    [Infinite] model to pick the matching speculative version. *)
+
+val read_fault : t -> Reg.t -> shadow:bool -> pred:Pred.t -> Fault.t option
+(** The buffered exception attached to the value {!read} would return, if
+    any (a corrupted operand propagates corruption, sentinel-style). *)
+
+val write_seq : t -> Reg.t -> int -> unit
+
+val write_spec :
+  t -> Reg.t -> int -> pred:Pred.t -> fault:Fault.t option ->
+  [ `Ok | `Conflict ]
+(** Speculative write: buffer the value with its predicate; sets V, and E
+    when [fault] is given. [`Conflict] (single-shadow model only) when a
+    valid speculative value with a different predicate already occupies the
+    entry — the machine must stall the writer. *)
+
+val committing_exceptions :
+  t -> (Cond.t -> Pred.cond_value) -> (Reg.t * Fault.t) list
+(** Buffered exceptions whose predicate evaluates true under the given
+    (tentative) CCR — the detection signal of §3.5. *)
+
+val tick : t -> (Cond.t -> Pred.cond_value) -> (Reg.t * [ `Commit | `Squash ]) list
+(** Evaluate every valid speculative entry: true → commit (copy to
+    sequential state, clear V), false → squash (clear V). Returns what
+    happened, in register order, for event tracing. Entries with E must
+    have been intercepted by {!committing_exceptions} first; a committing
+    entry with E set is an internal error. *)
+
+val invalidate_spec : t -> unit
+(** Clear all speculative state (on exception detection and region exit). *)
+
+val has_spec : t -> bool
+val conflicts : t -> int
+(** Number of storage conflicts reported so far (ablation statistic). *)
+
+val spec_writes : t -> int
+val commits : t -> int
+val squashes : t -> int
+val final_state : t -> int Reg.Map.t
+(** Sequential values of registers ever written. *)

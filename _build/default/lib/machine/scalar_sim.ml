@@ -1,0 +1,6 @@
+open Psb_isa
+
+let run = Interp.run
+
+let cycles ~regs ~mem program =
+  (Interp.run ~record_trace:false ~regs ~mem program).Interp.cycles

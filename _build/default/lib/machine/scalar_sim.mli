@@ -1,0 +1,21 @@
+(** The scalar baseline (MIPS R3000-like, §4).
+
+    A thin, documented front-end over the reference interpreter: single
+    issue, one cycle per instruction, two-cycle loads (one-cycle load-use
+    interlock), branches free under the paper's optimistic BTB assumption.
+    Its cycle counts play the role of the pixie-measured R3000 cycles. *)
+
+open Psb_isa
+
+val run :
+  ?fuel:int ->
+  ?record_trace:bool ->
+  ?observer:(Instr.op -> int option -> unit) ->
+  regs:(Reg.t * int) list ->
+  mem:Memory.t ->
+  Program.t ->
+  Interp.result
+
+val cycles :
+  regs:(Reg.t * int) list -> mem:Memory.t -> Program.t -> int
+(** Convenience: scalar cycle count only (no trace recorded). *)

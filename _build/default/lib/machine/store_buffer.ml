@@ -1,0 +1,110 @@
+open Psb_isa
+
+type entry = {
+  addr : int;
+  value : int;
+  pred : Pred.t;
+  mutable spec : bool; (* W *)
+  mutable valid : bool; (* V *)
+  fault : Fault.t option; (* E *)
+}
+
+type t = {
+  mutable entries : entry list; (* oldest (head) first *)
+  mutable max_occupancy : int;
+  mutable spec_appends : int;
+  mutable commits : int;
+  mutable squashes : int;
+}
+
+let create () =
+  { entries = []; max_occupancy = 0; spec_appends = 0; commits = 0; squashes = 0 }
+
+let append t ~addr ~value ~pred ~spec ~fault =
+  let e = { addr; value; pred; spec; valid = true; fault } in
+  t.entries <- t.entries @ [ e ];
+  if spec then t.spec_appends <- t.spec_appends + 1;
+  t.max_occupancy <- max t.max_occupancy (List.length t.entries)
+
+let tick t lookup =
+  List.filter_map
+    (fun e ->
+      if e.spec && e.valid then
+        match Pred.eval e.pred lookup with
+        | Pred.True ->
+            assert (e.fault = None);
+            t.commits <- t.commits + 1;
+            e.spec <- false;
+            Some (e.addr, `Commit)
+        | Pred.False ->
+            t.squashes <- t.squashes + 1;
+            e.valid <- false;
+            Some (e.addr, `Squash)
+        | Pred.Unspec -> None
+      else None)
+    t.entries
+
+let committing_exceptions t lookup =
+  List.filter_map
+    (fun e ->
+      match e.fault with
+      | Some f when e.spec && e.valid && Pred.eval e.pred lookup = Pred.True ->
+          Some f
+      | Some _ | None -> None)
+    t.entries
+
+let drain t ~max:limit mem =
+  let written = ref 0 in
+  let rec go entries =
+    match entries with
+    | [] -> []
+    | e :: rest ->
+        if not e.valid then go rest (* squashed: free discard *)
+        else if e.spec || !written >= limit then entries
+        else begin
+          (match e.fault with
+          | Some (Fault.Mem f) -> raise (Memory.Fault f)
+          | Some (Fault.Arith _) | None -> ());
+          Memory.write mem e.addr e.value;
+          incr written;
+          go rest
+        end
+  in
+  t.entries <- go t.entries;
+  !written
+
+let drain_all t mem =
+  ignore (drain t ~max:max_int mem);
+  (* With no limit, drain only stops at a still-speculative entry. *)
+  if t.entries <> [] then
+    invalid_arg "Store_buffer.drain_all: speculative entries remain"
+
+let forward t ~addr ~load_pred lookup =
+  let candidates =
+    List.rev t.entries (* youngest first *)
+    |> List.filter (fun e -> e.valid && e.addr = addr)
+  in
+  let rec search = function
+    | [] -> `Miss
+    | e :: rest ->
+        if Pred.disjoint e.pred load_pred then search rest
+        else if (not e.spec) || Pred.implies load_pred e.pred then
+          `Hit (e.value, e.fault)
+        else (
+          match Pred.eval e.pred lookup with
+          | Pred.True -> `Hit (e.value, e.fault)
+          | Pred.False -> search rest
+          | Pred.Unspec -> `Commit_dependence)
+  in
+  search candidates
+
+let invalidate_spec t =
+  List.iter (fun e -> if e.spec then e.valid <- false) t.entries;
+  t.entries <- List.filter (fun e -> e.valid) t.entries
+
+let has_spec t = List.exists (fun e -> e.valid && e.spec) t.entries
+let length t = List.length t.entries
+let max_occupancy t = t.max_occupancy
+let spec_appends t = t.spec_appends
+let commits t = t.commits
+let squashes t = t.squashes

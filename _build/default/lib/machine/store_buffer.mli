@@ -1,0 +1,58 @@
+(** Predicated store buffer (§3.2).
+
+    A FIFO in front of the D-cache. Both speculative and non-speculative
+    stores are appended in issue order. Entries carry W (speculative), V
+    (valid) and E (outstanding speculative exception) flags and a
+    predicate with its own evaluation hardware: true → commit (clear W),
+    false → squash (clear V). Head entries that are valid and
+    non-speculative drain to the D-cache. *)
+
+open Psb_isa
+
+type t
+
+val create : unit -> t
+
+val append :
+  t -> addr:int -> value:int -> pred:Pred.t -> spec:bool ->
+  fault:Fault.t option -> unit
+
+val tick : t -> (Cond.t -> Pred.cond_value) -> (int * [ `Commit | `Squash ]) list
+(** Evaluate speculative entries' predicates; commit or squash. Returns
+    the affected addresses, in buffer order, for event tracing. *)
+
+val committing_exceptions :
+  t -> (Cond.t -> Pred.cond_value) -> Fault.t list
+(** Buffered store exceptions whose predicate evaluates true under the
+    (tentative) CCR. *)
+
+val drain : t -> max:int -> Memory.t -> int
+(** Write up to [max] head entries that are valid and non-speculative to
+    memory; squashed head entries are discarded for free. Stops at the
+    first still-speculative entry. Returns the number of D-cache writes.
+    @raise Memory.Fault if a drained store faults (a non-speculative
+    exception; the machine handles it like the scalar machine would). *)
+
+val drain_all : t -> Memory.t -> unit
+(** Drain every non-speculative entry (used when the machine halts).
+    @raise Invalid_argument if speculative entries remain. *)
+
+val forward :
+  t -> addr:int -> load_pred:Pred.t -> (Cond.t -> Pred.cond_value) ->
+  [ `Hit of int * Fault.t option | `Miss | `Commit_dependence ]
+(** Store-to-load forwarding. Searches youngest → oldest among valid
+    entries with the same address: entries on mutually exclusive paths
+    (disjoint predicates) or already-squashed entries are skipped; an entry
+    the load is control-dependent on (its predicate implied by the load's,
+    or already true) forwards its value. An unresolved entry that may or
+    may not be on the load's path is a {e commit dependence}
+    (§4.2.2) — the scheduler must have prevented it, so the machine
+    reports it as an error. *)
+
+val invalidate_spec : t -> unit
+val has_spec : t -> bool
+val length : t -> int
+val max_occupancy : t -> int
+val spec_appends : t -> int
+val commits : t -> int
+val squashes : t -> int

@@ -1,0 +1,684 @@
+open Psb_isa
+
+type stats = {
+  dyn_bundles : int;
+  dyn_ops : int;
+  squashed_ops : int;
+  spec_ops : int;
+  commits : int;
+  squashes : int;
+  recoveries : int;
+  recovery_cycles : int;
+  shadow_conflicts : int;
+  conflict_stall_cycles : int;
+  sb_max_occupancy : int;
+  sb_stall_cycles : int;
+  region_transitions : int;
+}
+
+type result = {
+  outcome : Interp.outcome;
+  output : int list;
+  cycles : int;
+  regs : int Reg.Map.t;
+  faults_handled : int;
+  stats : stats;
+}
+
+type event =
+  | Reg_commit of Reg.t
+  | Reg_squash of Reg.t
+  | Store_commit of int
+  | Store_squash of int
+  | Exception_detected
+  | Recovery_done
+  | Region_exit of Pcode.exit_target
+
+let pp_event ppf = function
+  | Reg_commit r -> Format.fprintf ppf "commit %a" Reg.pp r
+  | Reg_squash r -> Format.fprintf ppf "squash %a" Reg.pp r
+  | Store_commit a -> Format.fprintf ppf "commit sb@%d" a
+  | Store_squash a -> Format.fprintf ppf "squash sb@%d" a
+  | Exception_detected -> Format.pp_print_string ppf "exception detected"
+  | Recovery_done -> Format.pp_print_string ppf "recovery done"
+  | Region_exit (Pcode.To_region l) -> Format.fprintf ppf "exit -> %a" Label.pp l
+  | Region_exit Pcode.Stop -> Format.pp_print_string ppf "exit -> halt"
+
+exception Machine_error of string
+
+let machine_error fmt = Format.kasprintf (fun s -> raise (Machine_error s)) fmt
+
+(* Writebacks in flight. [load_addr] lets a buffered load exception be
+   re-executed when it turns out to be committed and recoverable. *)
+type wb =
+  | Wreg of {
+      dst : Reg.t;
+      value : int;
+      pred : Pred.t;
+      fault : Fault.t option;
+      decided_seq : bool;
+      load_addr : int option;
+      shadow_srcs : Reg.Set.t;
+    }
+  | Wcond of { dst : Cond.t; value : bool }
+  | Wstore of {
+      addr : int;
+      value : int;
+      pred : Pred.t;
+      spec : bool;
+      fault : Fault.t option;
+    }
+  | Wout of int
+
+type pending = { due : int; order : int; action : wb }
+
+type mode = Normal | Recovery of { future : Ccr.t; epc : int }
+
+exception Abort of Fault.t
+exception Halted_exn
+exception Fuel_exhausted
+exception Cycle_done
+(* Ends the current cycle early (recovery initiation). *)
+
+type state = {
+  model : Machine_model.t;
+  on_event : (int -> event -> unit) option;
+  code : Pcode.t;
+  mem : Memory.t;
+  rf : Regfile.t;
+  sb : Store_buffer.t;
+  ccr : Ccr.t;
+  mutable mode : mode;
+  mutable region : Pcode.region;
+  mutable pc : int;
+  mutable now : int;
+  mutable pending : pending list;
+  mutable next_order : int;
+  mutable output_rev : int list;
+  mutable faults_handled : int;
+  (* statistics *)
+  mutable dyn_bundles : int;
+  mutable dyn_ops : int;
+  mutable squashed_ops : int;
+  mutable spec_ops : int;
+  mutable recoveries : int;
+  mutable recovery_cycles : int;
+  mutable conflict_stall_cycles : int;
+  mutable consecutive_stalls : int;
+  mutable region_transitions : int;
+  mutable sb_stall_cycles : int;
+  mutable wb_squashes : int; (* results squashed in flight (pred false at WB) *)
+}
+
+let emit st ev =
+  match st.on_event with None -> () | Some f -> f st.now ev
+
+let schedule st ~latency action =
+  st.pending <- { due = st.now + latency; order = st.next_order; action } :: st.pending;
+  st.next_order <- st.next_order + 1
+
+let handle_or_abort st fault =
+  if Fault.recoverable fault then begin
+    (match fault with
+    | Fault.Mem f -> assert (Memory.handle_fault st.mem f)
+    | Fault.Arith _ -> assert false);
+    st.faults_handled <- st.faults_handled + 1
+  end
+  else raise (Abort fault)
+
+(* A load access: store-buffer forwarding first, then the D-cache.
+   Returns the value, or the fault if the access faults. *)
+let load_access st ~addr ~load_pred =
+  match Store_buffer.forward st.sb ~addr ~load_pred (Ccr.lookup st.ccr) with
+  | `Hit (v, None) -> Ok v
+  | `Hit (v, Some f) -> Error (f, Some v)
+  | `Commit_dependence ->
+      machine_error "commit-dependence violation: load at %d hits an unresolved speculative store" addr
+  | `Miss -> (
+      match Memory.read st.mem addr with
+      | v -> Ok v
+      | exception Memory.Fault f -> Error (Fault.Mem f, None))
+
+(* Non-speculative load: faults are handled on the spot (or abort). *)
+let rec load_nonspec st ~addr ~load_pred =
+  match load_access st ~addr ~load_pred with
+  | Ok v -> v
+  | Error (f, forwarded) -> (
+      handle_or_abort st f;
+      match forwarded with
+      | Some v -> v (* the forwarded store's page is mapped now *)
+      | None -> load_nonspec st ~addr ~load_pred)
+
+let read_reg st ~shadow_srcs ~pred r =
+  Regfile.read st.rf r ~shadow:(Reg.Set.mem r shadow_srcs) ~pred
+
+let read_operand st ~shadow_srcs ~pred = function
+  | Operand.Reg r -> read_reg st ~shadow_srcs ~pred r
+  | Operand.Imm i -> i
+
+(* Compute an ALU/Mov/Setc-style value; faults become [Error]. *)
+let compute st ~shadow_srcs ~pred (op : Instr.op) =
+  let rd = read_reg st ~shadow_srcs ~pred in
+  let rop = read_operand st ~shadow_srcs ~pred in
+  match op with
+  | Instr.Alu { op; a; b; _ } -> (
+      match Opcode.eval_alu op (rop a) (rop b) with
+      | v -> Ok v
+      | exception Opcode.Arithmetic_fault m -> Error (Fault.Arith m, None))
+  | Instr.Mov { src; _ } -> Ok (rop src)
+  | Instr.Load { base; off; _ } -> (
+      let addr = rd base + off in
+      match load_access st ~addr ~load_pred:pred with
+      | Ok v -> Ok v
+      | Error (f, fw) -> Error (f, Some (addr, fw)))
+  | Instr.Cmp { op; a; b; _ } ->
+      Ok (if Opcode.eval_cmp op (rop a) (rop b) then 1 else 0)
+  | Instr.Store _ | Instr.Setc _ | Instr.Out _ | Instr.Nop ->
+      assert false (* handled by the callers *)
+
+let dest_of (op : Instr.op) =
+  match Instr.defs op with [ r ] -> r | _ -> assert false
+
+(* Issue one operation slot whose predicate evaluated True: execute
+   non-speculatively. *)
+let issue_nonspec st (pi : Pcode.pinstr) =
+  let latency = Machine_model.latency st.model pi.op in
+  let shadow_srcs = pi.shadow_srcs and pred = pi.pred in
+  match pi.op with
+  | Instr.Nop -> ()
+  | Instr.Out o ->
+      schedule st ~latency (Wout (read_operand st ~shadow_srcs ~pred o))
+  | Instr.Setc { dst; op; a; b } ->
+      let v =
+        Opcode.eval_cmp op
+          (read_operand st ~shadow_srcs ~pred a)
+          (read_operand st ~shadow_srcs ~pred b)
+      in
+      schedule st ~latency (Wcond { dst; value = v })
+  | Instr.Store { src; base; off } ->
+      let addr = read_reg st ~shadow_srcs ~pred base + off in
+      let value = read_reg st ~shadow_srcs ~pred src in
+      schedule st ~latency (Wstore { addr; value; pred; spec = false; fault = None })
+  | Instr.Alu _ | Instr.Mov _ | Instr.Cmp _ | Instr.Load _ ->
+      let value =
+        match compute st ~shadow_srcs ~pred pi.op with
+        | Ok v -> v
+        | Error (f, Some (addr, forwarded)) -> (
+            handle_or_abort st f;
+            match forwarded with
+            | Some v -> v
+            | None -> load_nonspec st ~addr ~load_pred:pred)
+        | Error (f, None) ->
+            (* Arithmetic fault with a true predicate: fatal. *)
+            handle_or_abort st f;
+            assert false
+      in
+      schedule st ~latency
+        (Wreg
+           {
+             dst = dest_of pi.op;
+             value;
+             pred;
+             fault = None;
+             decided_seq = true;
+             load_addr = None;
+             shadow_srcs;
+           })
+
+(* Issue one operation slot whose predicate is unspecified: execute
+   speculatively. In recovery mode a fault consults the future condition:
+   true → handled now, false → ignored, unspecified → buffered again. *)
+let issue_spec st (pi : Pcode.pinstr) =
+  st.spec_ops <- st.spec_ops + 1;
+  let latency = Machine_model.latency st.model pi.op in
+  let shadow_srcs = pi.shadow_srcs and pred = pi.pred in
+  let future_value () =
+    match st.mode with
+    | Normal -> Pred.Unspec
+    | Recovery { future; _ } -> Ccr.eval future pred
+  in
+  let resolve_fault f ~addr_info =
+    (* Decide what to do with a speculative fault. Returns
+       (value, buffered fault). *)
+    match future_value () with
+    | Pred.Unspec -> (0, Some f)
+    | Pred.False -> (0, None) (* ignored: result squashes under the future *)
+    | Pred.True -> (
+        handle_or_abort st f;
+        match addr_info with
+        | None -> (0, None)
+        | Some (addr, forwarded) -> (
+            match forwarded with
+            | Some v -> (v, None)
+            | None -> (load_nonspec st ~addr ~load_pred:pred, None)))
+  in
+  match pi.op with
+  | Instr.Nop -> ()
+  | Instr.Out _ ->
+      machine_error "side-effecting Out issued with an unspecified predicate"
+  | Instr.Setc _ ->
+      machine_error "Setc issued with an unspecified predicate (must be alw)"
+  | Instr.Store { src; base; off } ->
+      let addr = read_reg st ~shadow_srcs ~pred base + off in
+      let value = read_reg st ~shadow_srcs ~pred src in
+      let fault = Option.map (fun f -> Fault.Mem f) (Memory.probe st.mem addr) in
+      let fault =
+        match fault with
+        | None -> None
+        | Some f -> (
+            match future_value () with
+            | Pred.Unspec -> Some f
+            | Pred.False -> None
+            | Pred.True ->
+                handle_or_abort st f;
+                None)
+      in
+      schedule st ~latency (Wstore { addr; value; pred; spec = true; fault })
+  | Instr.Alu _ | Instr.Mov _ | Instr.Cmp _ | Instr.Load _ ->
+      let value, fault, load_addr =
+        match compute st ~shadow_srcs ~pred pi.op with
+        | Ok v -> (v, None, None)
+        | Error (f, (Some (addr, _) as ai)) ->
+            let v, bf = resolve_fault f ~addr_info:ai in
+            (v, bf, Some addr)
+        | Error (f, None) ->
+            let v, bf = resolve_fault f ~addr_info:None in
+            (v, bf, None)
+      in
+      schedule st ~latency
+        (Wreg
+           {
+             dst = dest_of pi.op;
+             value;
+             pred;
+             fault;
+             decided_seq = false;
+             load_addr;
+             shadow_srcs;
+           })
+
+(* Apply one due writeback. Returns [`Conflict] when a speculative register
+   write hits an occupied shadow entry (single-shadow model): the caller
+   requeues it and stalls issue. *)
+let apply_wb st action ~cond_writes =
+  match action with
+  | Wout v ->
+      st.output_rev <- v :: st.output_rev;
+      `Ok
+  | Wcond { dst; value } ->
+      cond_writes := (dst, value) :: !cond_writes;
+      `Ok
+  | Wstore { addr; value; pred; spec; fault } ->
+      Store_buffer.append st.sb ~addr ~value ~pred ~spec ~fault;
+      `Ok
+  | Wreg { dst; value; pred; fault; decided_seq; load_addr; _ } ->
+      if decided_seq then begin
+        Regfile.write_seq st.rf dst value;
+        `Ok
+      end
+      else begin
+        match Ccr.eval st.ccr pred with
+        | Pred.False ->
+            st.wb_squashes <- st.wb_squashes + 1;
+            `Ok (* squashed in flight *)
+        | Pred.True ->
+            (* Committed during execution (like i6 in Table 1). A fault
+               surfacing here is a committed exception caught before
+               buffering: handle it like a normal exception. *)
+            let value =
+              match fault with
+              | None -> value
+              | Some f -> (
+                  handle_or_abort st f;
+                  match load_addr with
+                  | Some addr -> load_nonspec st ~addr ~load_pred:pred
+                  | None -> assert false)
+            in
+            Regfile.write_seq st.rf dst value;
+            `Ok
+        | Pred.Unspec -> (
+            match Regfile.write_spec st.rf dst value ~pred ~fault with
+            | `Ok -> `Ok
+            | `Conflict -> `Conflict)
+      end
+
+let lookup_with st writes c =
+  match List.assoc_opt c writes with
+  | Some v -> if v then Pred.T else Pred.F
+  | None -> Ccr.get st.ccr c
+
+(* Detection (§3.5): would applying the pending condition writes commit a
+   buffered speculative exception? *)
+let detect st writes =
+  let lookup = lookup_with st writes in
+  Regfile.committing_exceptions st.rf lookup <> []
+  || Store_buffer.committing_exceptions st.sb lookup <> []
+
+let drain_store_buffer st =
+  let rec go () =
+    match Store_buffer.drain st.sb ~max:st.model.Machine_model.dcache_ports st.mem with
+    | _ -> ()
+    | exception Memory.Fault f ->
+        handle_or_abort st (Fault.Mem f);
+        go ()
+  in
+  go ()
+
+(* Complete all in-flight writebacks (used at region transitions: the
+   machine interlocks until outstanding latencies drain). Returns the
+   number of extra cycles charged. *)
+let flush_pending st ~allow_cond =
+  if st.pending = [] then 0
+  else begin
+    let last_due = List.fold_left (fun m p -> max m p.due) st.now st.pending in
+    let ps =
+      List.sort (fun a b -> compare (a.due, a.order) (b.due, b.order)) st.pending
+    in
+    st.pending <- [];
+    let cond_writes = ref [] in
+    List.iter
+      (fun p ->
+        match apply_wb st p.action ~cond_writes with
+        | `Ok -> ()
+        | `Conflict -> () (* dead: speculative state is about to be squashed *))
+      ps;
+    if !cond_writes <> [] && not allow_cond then
+      machine_error "Setc write pending at region exit";
+    List.iter (fun (c, v) -> Ccr.set st.ccr c v) !cond_writes;
+    max 0 (last_due - st.now)
+  end
+
+let start_recovery st ~future =
+  emit st Exception_detected;
+  st.recoveries <- st.recoveries + 1;
+  (* Invalidate all speculative state: this establishes the precise
+     interrupt point. In-flight non-speculative writebacks complete;
+     speculative ones are dropped with the shadow state they target. *)
+  let spec, nonspec =
+    List.partition
+      (fun p ->
+        match p.action with
+        | Wreg { decided_seq; _ } -> not decided_seq
+        | Wstore { spec; _ } -> spec
+        | Wcond _ | Wout _ -> false)
+      st.pending
+  in
+  ignore spec;
+  st.pending <- nonspec;
+  let cond_writes = ref [] in
+  let ps = List.sort (fun a b -> compare (a.due, a.order) (b.due, b.order)) st.pending in
+  st.pending <- [];
+  List.iter (fun p -> ignore (apply_wb st p.action ~cond_writes)) ps;
+  if !cond_writes <> [] then
+    machine_error "non-speculative Setc pending across exception detection";
+  Regfile.invalidate_spec st.rf;
+  Store_buffer.invalidate_spec st.sb;
+  st.mode <- Recovery { future; epc = st.pc };
+  st.pc <- 0
+
+let take_exit st (target : Pcode.exit_target) =
+  emit st (Region_exit target);
+  st.region_transitions <- st.region_transitions + 1;
+  let extra = flush_pending st ~allow_cond:false in
+  st.now <- st.now + extra + st.model.Machine_model.transition_penalty;
+  (* A final resolve pass: writebacks applied during the flush may have
+     buffered state whose predicate is already decided. *)
+  ignore (Regfile.tick st.rf (Ccr.lookup st.ccr));
+  ignore (Store_buffer.tick st.sb (Ccr.lookup st.ccr));
+  (* Whatever speculative state remains belongs to untaken paths of the
+     region being left (closed-region property): squash it. *)
+  Regfile.invalidate_spec st.rf;
+  Store_buffer.invalidate_spec st.sb;
+  Ccr.reset st.ccr;
+  match target with
+  | Pcode.Stop ->
+      drain_store_buffer st;
+      (try Store_buffer.drain_all st.sb st.mem
+       with Memory.Fault f ->
+         handle_or_abort st (Fault.Mem f);
+         Store_buffer.drain_all st.sb st.mem);
+      raise Halted_exn
+  | Pcode.To_region l ->
+      st.region <- Pcode.find_region st.code l;
+      st.pc <- 0
+
+let step st ~fuel =
+  if st.now > fuel then raise Fuel_exhausted;
+  (* 0. Recovery completion: reaching the EPC ends recovery mode; the
+     future condition becomes the current condition (checked through the
+     detection path like any CCR update). *)
+  let pending_assign =
+    match st.mode with
+    | Recovery { future; epc } when st.pc = epc ->
+        st.mode <- Normal;
+        emit st Recovery_done;
+        Some future
+    | Recovery _ | Normal -> None
+  in
+  (match st.mode with
+  | Recovery _ -> st.recovery_cycles <- st.recovery_cycles + 1
+  | Normal -> ());
+  (* 1. Apply writebacks due this cycle. *)
+  let due, later = List.partition (fun p -> p.due <= st.now) st.pending in
+  st.pending <- later;
+  let due = List.sort (fun a b -> compare (a.due, a.order) (b.due, b.order)) due in
+  let cond_writes = ref [] in
+  let conflict = ref false in
+  List.iter
+    (fun p ->
+      match apply_wb st p.action ~cond_writes with
+      | `Ok -> ()
+      | `Conflict ->
+          conflict := true;
+          st.pending <- { p with due = st.now + 1 } :: st.pending)
+    due;
+  (* 2. CCR update with exception detection. *)
+  (match pending_assign with
+  | Some future ->
+      assert (!cond_writes = []);
+      if
+        Regfile.committing_exceptions st.rf (Ccr.lookup future) <> []
+        || Store_buffer.committing_exceptions st.sb (Ccr.lookup future) <> []
+      then machine_error "detection while leaving recovery";
+      Ccr.assign st.ccr ~from:future
+  | None ->
+      let writes = !cond_writes in
+      if writes <> [] && detect st writes then begin
+        match st.mode with
+        | Recovery _ -> machine_error "exception detection during recovery"
+        | Normal ->
+            (* Suppress the CCR update; the new value goes to the future
+               CCR (§3.5). *)
+            let future = Ccr.copy st.ccr in
+            List.iter (fun (c, v) -> Ccr.set future c v) writes;
+            start_recovery st ~future;
+            raise Cycle_done (* re-execution starts next cycle *)
+      end
+      else List.iter (fun (c, v) -> Ccr.set st.ccr c v) writes);
+  (* 3. Commit/squash the buffered speculative state. *)
+  List.iter
+    (fun (r, a) ->
+      emit st (match a with `Commit -> Reg_commit r | `Squash -> Reg_squash r))
+    (Regfile.tick st.rf (Ccr.lookup st.ccr));
+  List.iter
+    (fun (a, act) ->
+      emit st
+        (match act with `Commit -> Store_commit a | `Squash -> Store_squash a))
+    (Store_buffer.tick st.sb (Ccr.lookup st.ccr));
+  (* 4. Store buffer drains to the D-cache. *)
+  drain_store_buffer st;
+  (* 5. Issue one bundle (unless stalled on a shadow-storage conflict). *)
+  let bundle_has_store () =
+    st.pc < Array.length st.region.Pcode.code
+    && List.exists
+         (function
+           | Pcode.Op { op = Instr.Store _; _ } -> true
+           | Pcode.Op _ | Pcode.Exit _ -> false)
+         st.region.Pcode.code.(st.pc)
+  in
+  if
+    Store_buffer.length st.sb >= st.model.Machine_model.sb_capacity
+    && bundle_has_store ()
+  then begin
+    (* structural hazard: a store cannot enter the full FIFO; bundles
+       without stores flow past (otherwise the condition-set instruction
+       that resolves the blocking speculative head could never issue) *)
+    st.sb_stall_cycles <- st.sb_stall_cycles + 1;
+    st.consecutive_stalls <- st.consecutive_stalls + 1;
+    if st.consecutive_stalls > 10_000 then
+      machine_error "store buffer never drains (speculative head stuck)"
+  end
+  else if !conflict then begin
+    st.conflict_stall_cycles <- st.conflict_stall_cycles + 1;
+    st.consecutive_stalls <- st.consecutive_stalls + 1;
+    (* A conflict that never resolves means the scheduler violated the
+       shadow-storage WAW commit dependence: the blocking predicate can
+       only specify through a Setc that the stall itself is blocking. *)
+    if st.consecutive_stalls > 10_000 then
+      machine_error "shadow storage conflict deadlock (WAW commit dependence violated)"
+  end
+  else begin
+    st.consecutive_stalls <- 0;
+    if st.pc >= Array.length st.region.Pcode.code then
+      machine_error "ran off the end of region %s (exits not exhaustive)"
+        (Label.name st.region.Pcode.name);
+    let bundle = st.region.Pcode.code.(st.pc) in
+    (* A Setc may share a bundle with an exit as long as that exit does not
+       fire (Figure 4 bundles them); if it fires, the pending condition
+       write is caught at the transition (flush_pending). *)
+    st.dyn_bundles <- st.dyn_bundles + 1;
+    let in_recovery = match st.mode with Recovery _ -> true | Normal -> false in
+    (* Operations first... *)
+    List.iter
+      (function
+        | Pcode.Exit _ -> ()
+        | Pcode.Op pi -> (
+            match Ccr.eval st.ccr pi.pred with
+            | Pred.False -> st.squashed_ops <- st.squashed_ops + 1
+            | Pred.True ->
+                if in_recovery then st.squashed_ops <- st.squashed_ops + 1
+                else begin
+                  st.dyn_ops <- st.dyn_ops + 1;
+                  issue_nonspec st pi
+                end
+            | Pred.Unspec ->
+                st.dyn_ops <- st.dyn_ops + 1;
+                issue_spec st pi))
+      bundle;
+    (* ... then exits: the first whose predicate is true fires. *)
+    let exit_target =
+      List.find_map
+        (function
+          | Pcode.Op _ -> None
+          | Pcode.Exit { pred; target } -> (
+              match Ccr.eval st.ccr pred with
+              | Pred.True ->
+                  if in_recovery then
+                    machine_error "exit fired during recovery mode";
+                  Some target
+              | Pred.False | Pred.Unspec -> None))
+        bundle
+    in
+    st.pc <- st.pc + 1;
+    match exit_target with
+    | Some target -> take_exit st target
+    | None -> ()
+  end
+
+let default_fuel = 60_000_000
+
+let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
+    ~model ~regs ~mem (code : Pcode.t) =
+  let nregs =
+    let m =
+      List.fold_left
+        (fun acc r ->
+          Array.fold_left
+            (List.fold_left (fun acc slot ->
+                 match slot with
+                 | Pcode.Exit _ -> acc
+                 | Pcode.Op { op; _ } ->
+                     List.fold_left
+                       (fun acc r -> max acc (Reg.index r + 1))
+                       acc
+                       (Instr.defs op @ Instr.uses op)))
+            acc r.Pcode.code)
+        1 code.Pcode.regions
+    in
+    List.fold_left (fun acc (r, _) -> max acc (Reg.index r + 1)) m regs
+  in
+  let st =
+    {
+      model;
+      on_event;
+      code;
+      mem;
+      rf = Regfile.create ~mode:regfile_mode ~nregs ();
+      sb = Store_buffer.create ();
+      ccr = Ccr.create ~width:model.Machine_model.ccr_size;
+      mode = Normal;
+      region = Pcode.find_region code code.Pcode.entry;
+      pc = 0;
+      now = 0;
+      pending = [];
+      next_order = 0;
+      output_rev = [];
+      faults_handled = 0;
+      dyn_bundles = 0;
+      dyn_ops = 0;
+      squashed_ops = 0;
+      spec_ops = 0;
+      recoveries = 0;
+      recovery_cycles = 0;
+      conflict_stall_cycles = 0;
+      consecutive_stalls = 0;
+      region_transitions = 0;
+      sb_stall_cycles = 0;
+      wb_squashes = 0;
+    }
+  in
+  List.iter (fun (r, v) -> Regfile.write_seq st.rf r v) regs;
+  let finish outcome =
+    {
+      outcome;
+      output = List.rev st.output_rev;
+      cycles = st.now;
+      regs = Regfile.final_state st.rf;
+      faults_handled = st.faults_handled;
+      stats =
+        {
+          dyn_bundles = st.dyn_bundles;
+          dyn_ops = st.dyn_ops;
+          squashed_ops = st.squashed_ops;
+          spec_ops = st.spec_ops;
+          commits = Regfile.commits st.rf + Store_buffer.commits st.sb;
+          squashes =
+            Regfile.squashes st.rf + Store_buffer.squashes st.sb
+            + st.wb_squashes;
+          recoveries = st.recoveries;
+          recovery_cycles = st.recovery_cycles;
+          shadow_conflicts = Regfile.conflicts st.rf;
+          conflict_stall_cycles = st.conflict_stall_cycles;
+          sb_max_occupancy = Store_buffer.max_occupancy st.sb;
+          sb_stall_cycles = st.sb_stall_cycles;
+          region_transitions = st.region_transitions;
+        };
+    }
+  in
+  let rec loop () =
+    (try step st ~fuel with Cycle_done -> ());
+    st.now <- st.now + 1;
+    loop ()
+  in
+  try loop () with
+  | Halted_exn ->
+      st.now <- st.now + 1;
+      finish Interp.Halted
+  | Abort f ->
+      (* Stores semantically before the fault must be visible, as on the
+         scalar machine. *)
+      Regfile.invalidate_spec st.rf;
+      Store_buffer.invalidate_spec st.sb;
+      (try Store_buffer.drain_all st.sb st.mem with Memory.Fault _ -> ());
+      finish (Interp.Fatal f)
+  | Fuel_exhausted -> finish Interp.Out_of_fuel

@@ -1,0 +1,81 @@
+(** Cycle-level simulator of the predicating VLIW machine (Figure 1).
+
+    Executes {!Pcode.t}. Each cycle: completed writebacks are applied;
+    pending condition writes are checked against the buffered speculative
+    exceptions ({e detection}, §3.5) before updating the CCR; the register
+    file and store buffer evaluate their stored predicates and commit or
+    squash; the store buffer drains to the D-cache; and one bundle issues.
+    An instruction whose predicate evaluates true executes
+    non-speculatively, false is squashed, unspecified executes
+    speculatively into the shadow state.
+
+    On detection of a committed speculative exception the machine saves the
+    future condition, invalidates all speculative state, rolls back to the
+    region top (the implicit RPC) and re-executes in {e recovery mode}:
+    instructions whose predicate is specified under the (frozen) current
+    condition are squashed, unspecified ones re-execute, and a re-occurring
+    exception is handled if its predicate is true under the future
+    condition. Recovery ends when the PC reaches the EPC; the future
+    condition is then copied into the CCR.
+
+    Region exits reset the CCR and squash any speculative state left
+    behind — the closed-region property of §3.3 guarantees such state
+    belongs to untaken paths. *)
+
+open Psb_isa
+
+type stats = {
+  dyn_bundles : int;
+  dyn_ops : int;  (** executed operation slots (squashed ones excluded) *)
+  squashed_ops : int;
+  spec_ops : int;  (** ops issued with an unspecified predicate *)
+  commits : int;  (** speculative register/store commits *)
+  squashes : int;
+  recoveries : int;  (** recovery-mode episodes *)
+  recovery_cycles : int;
+  shadow_conflicts : int;
+  conflict_stall_cycles : int;
+  sb_max_occupancy : int;
+  sb_stall_cycles : int;  (** cycles issue stalled on a full store buffer *)
+  region_transitions : int;
+}
+
+type result = {
+  outcome : Interp.outcome;
+  output : int list;
+  cycles : int;
+  regs : int Reg.Map.t;
+  faults_handled : int;
+  stats : stats;
+}
+
+type event =
+  | Reg_commit of Reg.t
+  | Reg_squash of Reg.t
+  | Store_commit of int  (** address *)
+  | Store_squash of int
+  | Exception_detected
+  | Recovery_done
+  | Region_exit of Pcode.exit_target
+
+val pp_event : Format.formatter -> event -> unit
+
+exception Machine_error of string
+(** Raised when executed code violates a machine invariant the scheduler
+    must uphold (commit-dependence violation, side effect with an
+    unspecified predicate, running off a region end, Setc bundled with an
+    exit, ...). Indicates a compiler bug, not a program fault. *)
+
+val run :
+  ?fuel:int ->
+  ?regfile_mode:Regfile.mode ->
+  ?on_event:(int -> event -> unit) ->
+  model:Machine_model.t ->
+  regs:(Reg.t * int) list ->
+  mem:Memory.t ->
+  Pcode.t ->
+  result
+(** [fuel] bounds the cycle count (default 60M). [mem] is mutated.
+    [on_event] receives commit/squash/detection/recovery/exit events with
+    the cycle they occur in — the machine's observable timeline (compare
+    Table 1). *)

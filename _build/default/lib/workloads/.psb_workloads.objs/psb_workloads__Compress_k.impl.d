@@ -1,0 +1,1 @@
+lib/workloads/compress_k.ml: Dsl Memory Opcode Program Psb_isa

@@ -1,0 +1,1 @@
+lib/workloads/dsl.ml: Instr Label Memory Opcode Operand Program Psb_isa Reg

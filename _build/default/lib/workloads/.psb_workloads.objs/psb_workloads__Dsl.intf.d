@@ -1,0 +1,1 @@
+lib/workloads/dsl.mli: Instr Label Memory Opcode Operand Program Psb_isa Reg

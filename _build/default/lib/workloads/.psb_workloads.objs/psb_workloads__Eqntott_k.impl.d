@@ -1,0 +1,1 @@
+lib/workloads/eqntott_k.ml: Array Dsl Memory Opcode Program Psb_isa

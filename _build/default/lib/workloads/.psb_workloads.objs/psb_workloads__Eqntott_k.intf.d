@@ -1,0 +1,1 @@
+lib/workloads/eqntott_k.mli: Dsl

@@ -1,0 +1,1 @@
+lib/workloads/espresso_k.mli: Dsl

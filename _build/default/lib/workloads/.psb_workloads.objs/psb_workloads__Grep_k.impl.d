@@ -1,0 +1,1 @@
+lib/workloads/grep_k.ml: Array Dsl List Memory Opcode Program Psb_isa

@@ -1,0 +1,1 @@
+lib/workloads/li_k.ml: Dsl Memory Opcode Program Psb_isa

@@ -1,0 +1,1 @@
+lib/workloads/li_k.mli: Dsl

@@ -1,0 +1,1 @@
+lib/workloads/nroff_k.ml: Dsl Memory Opcode Program Psb_isa

@@ -1,0 +1,1 @@
+lib/workloads/nroff_k.mli: Dsl

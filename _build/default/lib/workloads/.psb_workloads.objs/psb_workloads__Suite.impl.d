@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Compress_k Dsl Eqntott_k Espresso_k Grep_k Li_k List Nroff_k

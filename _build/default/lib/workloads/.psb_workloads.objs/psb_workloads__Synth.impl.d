@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Dsl Format List Memory Opcode Program Psb_isa

@@ -1,0 +1,90 @@
+open Psb_isa
+open Dsl
+
+(* r1 = input index, r2 = prefix code, r3 = next free code, r4 = symbol,
+   r5-r12 scratch, r13 = output checksum, r14 = key+1, r15 = h,
+   r20 = input base, r21 = hash-key table, r22 = hash-code table.
+   Hash tables are empty (0) initially; stored keys are key+1. *)
+
+let n = 760
+let hsize = 509 (* prime *)
+let code_limit = 256 + 230 (* stop inserting when the table is nearly full,
+                              like compress's dictionary cap *)
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      block "entry"
+        [ mov 1 (i 0); mov 2 (i 0); mov 3 (i 256); mov 13 (i 0) ]
+        (jmp "loop");
+      block "loop"
+        [ cmp 5 Opcode.Lt (r 1) (i n) ]
+        (br 5 "body" "done");
+      block "body"
+        [
+          add 6 (r 20) (r 1);
+          load 4 6 0;
+          sll 7 (r 2) (i 8);
+          bor 7 (r 7) (r 4);
+          (* h = key mod HSIZE *)
+          div 8 (r 7) (i hsize);
+          mul 8 (r 8) (i hsize);
+          sub 15 (r 7) (r 8);
+          add 14 (r 7) (i 1);
+        ]
+        (jmp "probe");
+      block "probe"
+        [ add 9 (r 21) (r 15); load 10 9 0; cmp 5 Opcode.Eq (r 10) (i 0) ]
+        (br 5 "miss" "check");
+      block "check"
+        [ cmp 5 Opcode.Eq (r 10) (r 14) ]
+        (br 5 "hit" "collide");
+      block "collide"
+        [ add 15 (r 15) (i 1); cmp 5 Opcode.Ge (r 15) (i hsize) ]
+        (br 5 "wrap" "probe");
+      block "wrap" [ mov 15 (i 0) ] (jmp "probe");
+      block "miss"
+        [ cmp 5 Opcode.Lt (r 3) (i code_limit) ]
+        (br 5 "insert" "emit_only");
+      block "insert"
+        [
+          add 9 (r 21) (r 15);
+          store 14 9 0;
+          add 11 (r 22) (r 15);
+          store 3 11 0;
+          add 3 (r 3) (i 1);
+        ]
+        (jmp "emit_only");
+      block "emit_only"
+        [
+          (* emit prefix code into the checksum, start a new prefix *)
+          mul 13 (r 13) (i 31);
+          add 13 (r 13) (r 2);
+          band 13 (r 13) (i 0xFFFFFF);
+          mov 2 (r 4);
+        ]
+        (jmp "next");
+      block "hit" [ add 12 (r 22) (r 15); load 2 12 0 ] (jmp "next");
+      block "next" [ add 1 (r 1) (i 1) ] (jmp "loop");
+      block "done" [ out (r 13); out (r 3) ] halt;
+    ]
+
+let make_mem () =
+  let mem = Memory.create ~size:4096 in
+  let rand = lcg 1234 in
+  (* a small alphabet with skewed frequencies gives repeating digrams,
+     so the dictionary gets both hits and misses *)
+  for k = 0 to n - 1 do
+    let v = match rand () mod 8 with 0 | 1 | 2 -> 1 | 3 | 4 -> 2 | 5 -> 3 | 6 -> 4 | _ -> rand () mod 16 in
+    Memory.poke mem k v
+  done;
+  mem
+
+let workload =
+  {
+    name = "compress";
+    description = "LZW hash probing (data-dependent branches)";
+    program;
+    regs = [ (reg 20, 0); (reg 21, 1024); (reg 22, 2048) ];
+    make_mem;
+  }

@@ -1,0 +1,9 @@
+(** compress-like kernel: LZW dictionary build with open-addressing hash
+    probing.
+
+    The probe loop's hit/miss/collision branches are data-dependent, like
+    the paper's [compress] (Table 3: 0.88 at depth 1 decaying to 0.22 at
+    depth 8) — the workload where region predicating gains most over
+    trace-limited speculation. *)
+
+val workload : Dsl.t

@@ -1,0 +1,39 @@
+open Psb_isa
+
+let reg = Reg.make
+let lbl = Label.make
+let r n = Operand.reg (reg n)
+let i n = Operand.imm n
+let mov d src = Instr.Mov { dst = reg d; src }
+let alu op d a b = Instr.Alu { op; dst = reg d; a; b }
+let add = alu Opcode.Add
+let sub = alu Opcode.Sub
+let mul = alu Opcode.Mul
+let div = alu Opcode.Div
+let band = alu Opcode.And
+let bor = alu Opcode.Or
+let bxor = alu Opcode.Xor
+let sll = alu Opcode.Sll
+let srl = alu Opcode.Srl
+let cmp d op a b = Instr.Cmp { op; dst = reg d; a; b }
+let load d base off = Instr.Load { dst = reg d; base = reg base; off }
+let store src base off = Instr.Store { src = reg src; base = reg base; off }
+let out o = Instr.Out o
+let br s t f = Instr.Br { src = reg s; if_true = lbl t; if_false = lbl f }
+let jmp l = Instr.Jmp (lbl l)
+let halt = Instr.Halt
+let block name body term = Program.block (lbl name) body term
+
+let lcg seed =
+  let s = ref seed in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  regs : (Reg.t * int) list;
+  make_mem : unit -> Memory.t;
+}

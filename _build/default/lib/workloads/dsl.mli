@@ -1,0 +1,47 @@
+(** Helpers for writing benchmark kernels in the PSB IR. *)
+
+open Psb_isa
+
+val reg : int -> Reg.t
+val lbl : string -> Label.t
+val r : int -> Operand.t
+(** Register operand. *)
+
+val i : int -> Operand.t
+(** Immediate operand. *)
+
+val mov : int -> Operand.t -> Instr.op
+val add : int -> Operand.t -> Operand.t -> Instr.op
+val sub : int -> Operand.t -> Operand.t -> Instr.op
+val mul : int -> Operand.t -> Operand.t -> Instr.op
+val div : int -> Operand.t -> Operand.t -> Instr.op
+val band : int -> Operand.t -> Operand.t -> Instr.op
+val bor : int -> Operand.t -> Operand.t -> Instr.op
+val bxor : int -> Operand.t -> Operand.t -> Instr.op
+val sll : int -> Operand.t -> Operand.t -> Instr.op
+val srl : int -> Operand.t -> Operand.t -> Instr.op
+val cmp : int -> Opcode.cmp -> Operand.t -> Operand.t -> Instr.op
+val load : int -> int -> int -> Instr.op
+(** [load dst base off]. *)
+
+val store : int -> int -> int -> Instr.op
+(** [store src base off]. *)
+
+val out : Operand.t -> Instr.op
+val br : int -> string -> string -> Instr.control
+val jmp : string -> Instr.control
+val halt : Instr.control
+val block : string -> Instr.op list -> Instr.control -> Program.block
+
+val lcg : int -> unit -> int
+(** Deterministic pseudo-random stream for workload data (30-bit). *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  regs : (Reg.t * int) list;
+  make_mem : unit -> Memory.t;
+}
+(** A benchmark workload: program, initial registers, and a fresh-memory
+    factory (so each run starts from identical state). *)

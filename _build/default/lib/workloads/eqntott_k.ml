@@ -1,0 +1,77 @@
+open Psb_isa
+open Dsl
+
+(* r1 = i, r2 = j, r3 = k, r4 = "less" count, r5-r12 scratch,
+   r13 = base address of term i, r14 = base of term j,
+   r20 = terms base. Terms: nterms rows of bwidth values in {0,1,2}. *)
+
+let nterms = 40
+let bwidth = 8
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      block "entry" [ mov 4 (i 0); mov 1 (i 0) ] (jmp "iloop");
+      block "iloop"
+        [ cmp 5 Opcode.Lt (r 1) (i nterms) ]
+        (br 5 "jinit" "done");
+      block "jinit" [ mov 2 (i 0) ] (jmp "jloop");
+      block "jloop"
+        [ cmp 5 Opcode.Lt (r 2) (i nterms) ]
+        (br 5 "cmp_init" "inext");
+      block "cmp_init"
+        [
+          mul 13 (r 1) (i bwidth);
+          add 13 (r 13) (r 20);
+          mul 14 (r 2) (i bwidth);
+          add 14 (r 14) (r 20);
+          mov 3 (i 0);
+        ]
+        (jmp "kloop");
+      block "kloop"
+        [ cmp 5 Opcode.Lt (r 3) (i bwidth) ]
+        (br 5 "kbody" "jnext") (* equal terms: not less *);
+      block "kbody"
+        [
+          add 6 (r 13) (r 3);
+          load 7 6 0;
+          add 8 (r 14) (r 3);
+          load 9 8 0;
+          cmp 5 Opcode.Eq (r 7) (r 9);
+        ]
+        (br 5 "knext" "differ");
+      block "knext" [ add 3 (r 3) (i 1) ] (jmp "kloop");
+      block "differ"
+        [ cmp 5 Opcode.Lt (r 7) (r 9) ]
+        (br 5 "less" "jnext");
+      block "less" [ add 4 (r 4) (i 1) ] (jmp "jnext");
+      block "jnext" [ add 2 (r 2) (i 1) ] (jmp "jloop");
+      block "inext" [ add 1 (r 1) (i 1) ] (jmp "iloop");
+      block "done" [ out (r 4) ] halt;
+    ]
+
+let make_mem () =
+  let mem = Memory.create ~size:1024 in
+  let rand = lcg 99 in
+  (* clustered terms: halves share prefixes so comparisons go deep *)
+  let prototypes =
+    Array.init 4 (fun _ -> Array.init bwidth (fun _ -> rand () mod 3))
+  in
+  for t = 0 to nterms - 1 do
+    let proto = prototypes.(t mod 4) in
+    for k = 0 to bwidth - 1 do
+      (* perturb the tail of the prototype *)
+      let v = if k >= bwidth - 3 && rand () mod 2 = 0 then rand () mod 3 else proto.(k) in
+      Memory.poke mem ((t * bwidth) + k) v
+    done
+  done;
+  mem
+
+let workload =
+  {
+    name = "eqntott";
+    description = "ternary term comparison (early-exit compare loops)";
+    program;
+    regs = [ (reg 20, 0) ];
+    make_mem;
+  }

@@ -1,0 +1,8 @@
+(** eqntott-like kernel: pairwise comparison of ternary bit-vector terms.
+
+    The dominant function of the paper's [eqntott] is [cmppt], which
+    compares two product terms element by element and leaves at the first
+    difference — a data-dependent early-exit loop whose branches level off
+    near 50% predictability at depth (Table 3: 0.87 → 0.49). *)
+
+val workload : Dsl.t

@@ -1,0 +1,79 @@
+open Psb_isa
+open Dsl
+
+(* r1 = i, r2 = j, r3 = w, r4 = covers count, r5-r12 scratch,
+   r13/r14 = cube bases, r15 = distance count, r16 = covered flag,
+   r20 = cubes base. Cubes: ncubes rows of nwords bitmasks. *)
+
+let ncubes = 40
+let nwords = 4
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      block "entry" [ mov 4 (i 0); mov 15 (i 0); mov 1 (i 0) ] (jmp "iloop");
+      block "iloop"
+        [ cmp 5 Opcode.Lt (r 1) (i ncubes) ]
+        (br 5 "jinit" "done");
+      block "jinit" [ mov 2 (i 0) ] (jmp "jloop");
+      block "jloop"
+        [ cmp 5 Opcode.Lt (r 2) (i ncubes) ]
+        (br 5 "pair_init" "inext");
+      block "pair_init"
+        [
+          mul 13 (r 1) (i nwords);
+          add 13 (r 13) (r 20);
+          mul 14 (r 2) (i nwords);
+          add 14 (r 14) (r 20);
+          mov 16 (i 1);
+          mov 3 (i 0);
+        ]
+        (jmp "wloop");
+      block "wloop"
+        [ cmp 5 Opcode.Lt (r 3) (i nwords) ]
+        (br 5 "wbody" "pair_done");
+      block "wbody"
+        [
+          add 6 (r 13) (r 3);
+          load 7 6 0;
+          add 8 (r 14) (r 3);
+          load 9 8 0;
+          band 10 (r 7) (r 9);
+          (* covering: a & b = b for every word *)
+          cmp 5 Opcode.Eq (r 10) (r 9);
+        ]
+        (br 5 "w_dist" "not_covered");
+      block "not_covered" [ mov 16 (i 0) ] (jmp "w_dist");
+      block "w_dist"
+        [ cmp 5 Opcode.Eq (r 10) (i 0) ]
+        (br 5 "disjoint_word" "wnext");
+      block "disjoint_word" [ add 15 (r 15) (i 1) ] (jmp "wnext");
+      block "wnext" [ add 3 (r 3) (i 1) ] (jmp "wloop");
+      block "pair_done"
+        [ cmp 5 Opcode.Ne (r 16) (i 0) ]
+        (br 5 "covered" "jnext");
+      block "covered" [ add 4 (r 4) (i 1) ] (jmp "jnext");
+      block "jnext" [ add 2 (r 2) (i 1) ] (jmp "jloop");
+      block "inext" [ add 1 (r 1) (i 1) ] (jmp "iloop");
+      block "done" [ out (r 4); out (r 15) ] halt;
+    ]
+
+let make_mem () =
+  let mem = Memory.create ~size:1024 in
+  let rand = lcg 2718 in
+  for c = 0 to ncubes - 1 do
+    for w = 0 to nwords - 1 do
+      (* dense-ish masks so covering is occasionally true *)
+      Memory.poke mem ((c * nwords) + w) (rand () land 0xFF lor 0x11)
+    done
+  done;
+  mem
+
+let workload =
+  {
+    name = "espresso";
+    description = "cube cover/distance over a PLA (mixed predictability)";
+    program;
+    regs = [ (reg 20, 0) ];
+    make_mem;
+  }

@@ -1,0 +1,7 @@
+(** espresso-like kernel: cube covering and distance over a PLA.
+
+    Pairwise cover checks and distance counts over bitmask cubes — loops
+    with moderately unpredictable data-dependent conditions, like the
+    paper's [espresso] (Table 3: 0.85 → 0.33). *)
+
+val workload : Dsl.t

@@ -1,0 +1,67 @@
+open Psb_isa
+open Dsl
+
+(* Register plan: r1 = i, r2 = j, r3 = match count, r4 = N - M, r5 = M,
+   r6 = scratch compare, r7-r11 = address/data scratch,
+   r20 = text base, r21 = pattern base. *)
+
+let text_base = 0
+let n = 4800
+let m = 4
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      block "entry" [ mov 3 (i 0); mov 1 (i 0) ] (jmp "outer");
+      block "outer"
+        [ cmp 6 Opcode.Le (r 1) (r 4) ]
+        (br 6 "inner_init" "done");
+      block "inner_init" [ mov 2 (i 0) ] (jmp "inner");
+      block "inner"
+        [ cmp 6 Opcode.Lt (r 2) (r 5) ]
+        (br 6 "inner_body" "matched");
+      block "inner_body"
+        [
+          add 7 (r 1) (r 2);
+          add 9 (r 20) (r 7);
+          load 8 9 0;
+          add 10 (r 21) (r 2);
+          load 11 10 0;
+          cmp 6 Opcode.Eq (r 8) (r 11);
+        ]
+        (br 6 "inner_inc" "next_i");
+      block "inner_inc" [ add 2 (r 2) (i 1) ] (jmp "inner");
+      block "matched" [ add 3 (r 3) (i 1) ] (jmp "next_i");
+      block "next_i" [ add 1 (r 1) (i 1) ] (jmp "outer");
+      block "done" [ out (r 3) ] halt;
+    ]
+
+let make_mem () =
+  let mem = Memory.create ~size:8192 in
+  let rand = lcg 42 in
+  for k = 0 to n - 1 do
+    Memory.poke mem (text_base + k) (rand () mod 26)
+  done;
+  (* plant the pattern a few times *)
+  let pat = [| 7; 3; 11; 19 |] in
+  List.iter
+    (fun at -> Array.iteri (fun k c -> Memory.poke mem (text_base + at + k) c) pat)
+    [ 100; 700; 1311; 2444; 3900 ];
+  let pat_base = n in
+  Array.iteri (fun k c -> Memory.poke mem (pat_base + k) c) pat;
+  mem
+
+let workload =
+  {
+    name = "grep";
+    description = "string search (highly predictable branches)";
+    program;
+    regs =
+      [
+        (reg 4, n - m);
+        (reg 5, m);
+        (reg 20, text_base);
+        (reg 21, n);
+      ];
+    make_mem;
+  }

@@ -1,0 +1,8 @@
+(** grep-like kernel: naive string search.
+
+    Scans a text for a short pattern; the inner-loop "mismatch, advance"
+    branch is almost always taken, making this — like the paper's [grep] —
+    an extremely branch-predictable workload (Table 3: 0.97 at depth 1,
+    still 0.83 at depth 8). *)
+
+val workload : Dsl.t

@@ -1,0 +1,102 @@
+open Psb_isa
+open Dsl
+
+(* r1 = sp, r3 = accumulator, r4 = node pointer, r5-r10 scratch,
+   r11 = op counter, r20 = heap base, r21 = stack base.
+   Node layout: [tag; a; b] — tag 0: leaf, a = value;
+   tag 1: add node, a/b = children; tag 2: negate node, a = child. *)
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      (* push the root (node 0) *)
+      block "entry"
+        [ mov 4 (r 20); store 4 21 0; mov 1 (i 1); mov 3 (i 0); mov 11 (i 0) ]
+        (jmp "loop");
+      block "loop"
+        [ cmp 5 Opcode.Gt (r 1) (i 0) ]
+        (br 5 "pop" "done");
+      block "pop"
+        [
+          sub 1 (r 1) (i 1);
+          add 6 (r 21) (r 1);
+          load 4 6 0;
+          load 7 4 0 (* tag: pointer chase *);
+          add 11 (r 11) (i 1);
+          cmp 5 Opcode.Eq (r 7) (i 0);
+        ]
+        (br 5 "leaf" "inner");
+      block "leaf" [ load 8 4 1; add 3 (r 3) (r 8) ] (jmp "loop");
+      block "inner"
+        [ cmp 5 Opcode.Eq (r 7) (i 1) ]
+        (br 5 "add_node" "neg_node");
+      block "add_node"
+        [
+          load 8 4 1;
+          add 9 (r 21) (r 1);
+          store 8 9 0;
+          add 1 (r 1) (i 1);
+          load 8 4 2;
+          add 9 (r 21) (r 1);
+          store 8 9 0;
+          add 1 (r 1) (i 1);
+        ]
+        (jmp "loop");
+      block "neg_node"
+        [
+          (* negate: subtract twice the subtree value later is complex;
+             instead treat as leaf holding a negative constant in slot 1 *)
+          load 8 4 1;
+          sub 3 (r 3) (r 8);
+        ]
+        (jmp "loop");
+      block "done" [ out (r 3); out (r 11) ] halt;
+    ]
+
+let heap_base = 0
+let stack_base = 7000
+let max_nodes = 2200
+
+let make_mem () =
+  let mem = Memory.create ~size:9000 in
+  let rand = lcg 31415 in
+  let next = ref 0 in
+  let alloc () =
+    let a = heap_base + (3 * !next) in
+    incr next;
+    if !next > max_nodes then failwith "li_k: heap overflow";
+    a
+  in
+  (* build a random expression tree of the given node budget *)
+  let rec build budget =
+    let a = alloc () in
+    if budget <= 1 then begin
+      match rand () mod 3 with
+      | 0 ->
+          Memory.poke mem a 2;
+          Memory.poke mem (a + 1) (rand () mod 50)
+      | _ ->
+          Memory.poke mem a 0;
+          Memory.poke mem (a + 1) (rand () mod 100)
+    end
+    else begin
+      Memory.poke mem a 1;
+      let lb = 1 + (rand () mod (budget - 1)) in
+      let l = build lb in
+      let r = build (budget - lb) in
+      Memory.poke mem (a + 1) l;
+      Memory.poke mem (a + 2) r
+    end;
+    a
+  in
+  ignore (build 1050);
+  mem
+
+let workload =
+  {
+    name = "li";
+    description = "expression-tree reduction (pointer chasing, tag dispatch)";
+    program;
+    regs = [ (reg 20, heap_base); (reg 21, stack_base) ];
+    make_mem;
+  }

@@ -1,0 +1,8 @@
+(** li-like kernel: expression-tree reduction with an explicit stack.
+
+    Pointer-chasing over heap-allocated nodes with a data-dependent tag
+    dispatch — the lisp-interpreter access pattern of the paper's [li]
+    (Table 3: 0.88 → 0.38). The critical path runs through unsafe loads,
+    which is exactly what buffered speculation accelerates. *)
+
+val workload : Dsl.t

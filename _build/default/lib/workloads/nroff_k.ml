@@ -1,0 +1,60 @@
+open Psb_isa
+open Dsl
+
+(* r1 = i, r2 = col, r3 = lines, r4 = word/char, r5-r8 scratch,
+   r9 = checksum, r20 = word-length array, r21 = char array. *)
+
+let nwords = 2600
+let nchars = 3600
+let width = 120
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      block "entry" [ mov 1 (i 0); mov 2 (i 0); mov 3 (i 0) ] (jmp "fill");
+      block "fill"
+        [ cmp 5 Opcode.Lt (r 1) (i nwords) ]
+        (br 5 "fill_body" "case_init");
+      block "fill_body"
+        [ add 6 (r 20) (r 1); load 4 6 0; add 7 (r 2) (r 4);
+          cmp 5 Opcode.Gt (r 7) (i width) ]
+        (br 5 "newline" "same_line");
+      block "newline" [ add 3 (r 3) (i 1); mov 2 (r 4) ] (jmp "fill_next");
+      block "same_line" [ add 2 (r 7) (i 1) ] (jmp "fill_next");
+      block "fill_next" [ add 1 (r 1) (i 1) ] (jmp "fill");
+      block "case_init" [ mov 1 (i 0); mov 9 (i 0) ] (jmp "case");
+      block "case"
+        [ cmp 5 Opcode.Lt (r 1) (i nchars) ]
+        (br 5 "case_body" "done");
+      block "case_body"
+        [ add 6 (r 21) (r 1); load 4 6 0; cmp 5 Opcode.Ge (r 4) (i 97) ]
+        (br 5 "to_upper" "keep");
+      block "to_upper" [ sub 4 (r 4) (i 32) ] (jmp "accum");
+      block "keep" [] (jmp "accum");
+      block "accum"
+        [ bxor 9 (r 9) (r 4); add 1 (r 1) (i 1) ]
+        (jmp "case");
+      block "done" [ out (r 3); out (r 9) ] halt;
+    ]
+
+let make_mem () =
+  let mem = Memory.create ~size:8192 in
+  let rand = lcg 7 in
+  for k = 0 to nwords - 1 do
+    Memory.poke mem k (1 + (rand () mod 6))
+  done;
+  for k = 0 to nchars - 1 do
+    (* mostly lowercase letters, occasionally digits *)
+    let v = if rand () mod 50 = 0 then 48 + (rand () mod 10) else 97 + (rand () mod 26) in
+    Memory.poke mem (nwords + k) v
+  done;
+  mem
+
+let workload =
+  {
+    name = "nroff";
+    description = "line filling + case conversion (predictable branches)";
+    program;
+    regs = [ (reg 20, 0); (reg 21, nwords) ];
+    make_mem;
+  }

@@ -1,0 +1,8 @@
+(** nroff-like kernel: line filling and case conversion.
+
+    Greedy line filling over a stream of word lengths (the "word fits on
+    this line" branch is usually true) followed by a character-case
+    conversion scan — both highly predictable, matching the paper's
+    [nroff] (Table 3: 0.98 at depth 1). *)
+
+val workload : Dsl.t

@@ -1,0 +1,12 @@
+let all =
+  [
+    Compress_k.workload;
+    Eqntott_k.workload;
+    Espresso_k.workload;
+    Grep_k.workload;
+    Li_k.workload;
+    Nroff_k.workload;
+  ]
+
+let find name = List.find (fun (w : Dsl.t) -> w.Dsl.name = name) all
+let names = List.map (fun (w : Dsl.t) -> w.Dsl.name) all

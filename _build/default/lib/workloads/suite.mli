@@ -1,0 +1,10 @@
+(** The benchmark suite: the six kernels standing in for the paper's
+    programs (Table 2). *)
+
+val all : Dsl.t list
+(** In the paper's order: compress, eqntott, espresso, grep, li, nroff. *)
+
+val find : string -> Dsl.t
+(** @raise Not_found for unknown names. *)
+
+val names : string list

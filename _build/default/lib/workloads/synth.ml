@@ -1,0 +1,72 @@
+open Psb_isa
+open Dsl
+
+type params = {
+  iterations : int;
+  depth : int;
+  taken_prob : float;
+  work_per_arm : int;
+  seed : int;
+}
+
+let default =
+  { iterations = 300; depth = 3; taken_prob = 0.5; work_per_arm = 2; seed = 5 }
+
+let name_of p =
+  Format.asprintf "synth-d%d-p%02.0f" p.depth (p.taken_prob *. 100.)
+
+(* r1 = iteration counter, r2 = accumulator, r3 = random-table cursor,
+   r4-r9 scratch, r20 = decision-table base. The table holds [depth]
+   decisions per iteration. *)
+let generate p =
+  let diamond k =
+    let pre = Format.asprintf "d%d" k in
+    [
+      block (pre ^ "_test")
+        [ add 5 (r 20) (r 3); load 4 5 0; add 3 (r 3) (i 1);
+          cmp 6 Opcode.Ne (r 4) (i 0) ]
+        (br 6 (pre ^ "_then") (pre ^ "_else"));
+      block (pre ^ "_then")
+        (List.init p.work_per_arm (fun w ->
+             add 2 (r 2) (i ((k * 7) + w + 1))))
+        (jmp (pre ^ "_join"));
+      block (pre ^ "_else")
+        (List.init p.work_per_arm (fun w ->
+             bxor 2 (r 2) (i ((k * 13) + w + 3))))
+        (jmp (pre ^ "_join"));
+      block (pre ^ "_join") []
+        (jmp (if k + 1 < p.depth then Format.asprintf "d%d_test" (k + 1)
+              else "latch"));
+    ]
+  in
+  let blocks =
+    [
+      block "entry" [ mov 1 (i 0); mov 2 (i 0); mov 3 (i 0) ] (jmp "head");
+      block "head"
+        [ cmp 6 Opcode.Lt (r 1) (i p.iterations) ]
+        (br 6 "d0_test" "done");
+    ]
+    @ List.concat_map diamond (List.init p.depth (fun k -> k))
+    @ [
+        block "latch" [ add 1 (r 1) (i 1) ] (jmp "head");
+        block "done" [ out (r 2) ] halt;
+      ]
+  in
+  let program = Program.make ~entry:(lbl "entry") blocks in
+  let make_mem () =
+    let size = max 256 (p.iterations * p.depth * 2) in
+    let mem = Memory.create ~size in
+    let rand = lcg p.seed in
+    let threshold = int_of_float (p.taken_prob *. 1024.) in
+    for k = 0 to (p.iterations * p.depth) - 1 do
+      Memory.poke mem k (if rand () mod 1024 < threshold then 1 else 0)
+    done;
+    mem
+  in
+  {
+    name = name_of p;
+    description = "synthetic diamond chain";
+    program;
+    regs = [ (reg 20, 0) ];
+    make_mem;
+  }

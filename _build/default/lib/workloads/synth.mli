@@ -1,0 +1,20 @@
+(** Parameterised synthetic workload generator.
+
+    Produces a loop whose body is a chain of [depth] data-driven diamonds;
+    each diamond's branch is taken with probability [taken_prob] (driven by
+    a pre-generated random table). Sweeping [taken_prob] moves the workload
+    between the grep-like (predictable) and eqntott-like (unpredictable)
+    regimes, which is what separates trace-scoped from region-scoped
+    speculation. *)
+
+type params = {
+  iterations : int;
+  depth : int;  (** diamonds per iteration *)
+  taken_prob : float;
+  work_per_arm : int;  (** ALU ops per diamond arm *)
+  seed : int;
+}
+
+val default : params
+val generate : params -> Dsl.t
+val name_of : params -> string

@@ -1,0 +1,1 @@
+test/gen_programs.ml: Format Instr Label List Memory Opcode Operand Program Psb_isa QCheck Reg

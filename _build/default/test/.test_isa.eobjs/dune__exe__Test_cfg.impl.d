@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Branch_predict Cfg Dominance Instr Interp Label List Liveness Loops Memory Opcode Operand Program Psb_cfg Psb_isa Reg Trace

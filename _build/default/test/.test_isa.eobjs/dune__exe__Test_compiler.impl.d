@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Driver Fault Format Instr Interp Label List Memory Model Opcode Operand Pred Program Psb_cfg Psb_compiler Psb_isa Psb_machine Reg Runit Sched

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Asm Driver Fault Gen_programs Interp List Memory Model Psb_compiler Psb_isa Psb_machine QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Experiments Format Harness Lazy Limits List Model Psb_compiler Psb_eval

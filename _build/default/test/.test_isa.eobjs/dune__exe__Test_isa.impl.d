@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Cond Fault Format Instr Interp Label List Memory Opcode Operand Pred Program Psb_isa QCheck QCheck_alcotest Reg Trace

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Cond Driver Gen_programs Hashtbl Instr Label List Model Pred Program Psb_cfg Psb_compiler Psb_isa Psb_machine QCheck QCheck_alcotest Runit Sched

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Driver Dsl Format Interp Lazy List Memory Model Psb_compiler Psb_isa Psb_machine Psb_workloads Suite Synth Trace

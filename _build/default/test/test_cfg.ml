@@ -1,0 +1,152 @@
+(* Tests of the CFG layer: graph construction, dominance / post-dominance /
+   equivalence, liveness, loops, branch prediction. *)
+
+open Psb_isa
+open Psb_cfg
+
+let reg = Reg.make
+let lbl = Label.make
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Diamond with a loop around it:
+
+        entry
+          |
+        head <------+
+        /  \        |
+      then  else    |
+        \  /        |
+        join -------+ (backedge while c1)
+          |
+        exit(halt)
+*)
+let diamond_loop =
+  let cmp d op a b = Instr.Cmp { op; dst = reg d; a; b } in
+  let add d a b = Instr.Alu { op = Opcode.Add; dst = reg d; a; b } in
+  let rr i = Operand.reg (reg i) in
+  let im i = Operand.imm i in
+  Program.make ~entry:(lbl "entry")
+    [
+      Program.block (lbl "entry")
+        [ Instr.Mov { dst = reg 1; src = im 0 }; Instr.Mov { dst = reg 9; src = im 3 } ]
+        (Instr.Jmp (lbl "head"));
+      Program.block (lbl "head")
+        [ cmp 4 Opcode.Lt (rr 1) (im 2) ]
+        (Instr.Br { src = reg 4; if_true = lbl "then"; if_false = lbl "else" });
+      Program.block (lbl "then") [ add 2 (rr 2) (im 10) ] (Instr.Jmp (lbl "join"));
+      Program.block (lbl "else") [ add 2 (rr 2) (im 100) ] (Instr.Jmp (lbl "join"));
+      Program.block (lbl "join")
+        [ add 1 (rr 1) (im 1); cmp 5 Opcode.Lt (rr 1) (rr 9) ]
+        (Instr.Br { src = reg 5; if_true = lbl "head"; if_false = lbl "exit" });
+      Program.block (lbl "exit") [ Instr.Out (rr 2) ] Instr.Halt;
+    ]
+
+let cfg = Cfg.of_program diamond_loop
+let dom = Dominance.compute cfg
+
+let test_cfg_structure () =
+  check_int "blocks" 6 (Cfg.num_blocks cfg);
+  Alcotest.(check (list string)) "succs of head" [ "then"; "else" ]
+    (Cfg.succs cfg (lbl "head"));
+  check_int "preds of join" 2 (List.length (Cfg.preds cfg (lbl "join")));
+  check_int "preds of head" 2 (List.length (Cfg.preds cfg (lbl "head")));
+  Alcotest.(check (list string)) "exits" [ "exit" ] (Cfg.exits cfg);
+  check_bool "rpo starts at entry" true
+    (List.hd (Cfg.rpo cfg) = lbl "entry")
+
+let test_dominance () =
+  check_bool "entry dom all" true (Dominance.dominates dom (lbl "entry") (lbl "join"));
+  check_bool "head dom join" true (Dominance.dominates dom (lbl "head") (lbl "join"));
+  check_bool "then not dom join" false
+    (Dominance.dominates dom (lbl "then") (lbl "join"));
+  check_bool "reflexive" true (Dominance.dominates dom (lbl "join") (lbl "join"));
+  check_bool "idom of join is head" true
+    (Dominance.idom dom (lbl "join") = Some (lbl "head"))
+
+let test_postdominance () =
+  check_bool "exit pdom head" true
+    (Dominance.postdominates dom (lbl "exit") (lbl "head"));
+  check_bool "join pdom then" true
+    (Dominance.postdominates dom (lbl "join") (lbl "then"));
+  check_bool "then not pdom head" false
+    (Dominance.postdominates dom (lbl "then") (lbl "head"));
+  (* §3.3 footnote 2: head and join are equivalent *)
+  check_bool "head equivalent join" true
+    (Dominance.equivalent dom (lbl "head") (lbl "join"));
+  check_bool "head not equivalent then" false
+    (Dominance.equivalent dom (lbl "head") (lbl "then"))
+
+let test_liveness () =
+  let live = Liveness.compute cfg in
+  (* r1 and r2 are live around the loop; r9 live from entry to join. *)
+  check_bool "r1 live into head" true
+    (Reg.Set.mem (reg 1) (Liveness.live_in live (lbl "head")));
+  check_bool "r2 live into exit" true
+    (Reg.Set.mem (reg 2) (Liveness.live_in live (lbl "exit")));
+  check_bool "r9 live out of then" true
+    (Reg.Set.mem (reg 9) (Liveness.live_out live (lbl "then")));
+  check_bool "r2 dead after exit out" true
+    (Reg.Set.is_empty (Liveness.live_out live (lbl "exit")));
+  (* A fresh dead register exists at entry of then. *)
+  (match Liveness.dead_at_entry live (lbl "then") ~avoid:Reg.Set.empty ~max_reg:9 with
+  | Some r -> check_bool "dead reg not live" true
+      (not (Reg.Set.mem r (Liveness.live_in live (lbl "then"))))
+  | None -> Alcotest.fail "expected a dead register")
+
+let test_live_before () =
+  let live = Liveness.compute cfg in
+  (* In join: [add r1; setc c1]; before index 0, r1 is live (used). *)
+  let s = Liveness.live_before live (lbl "join") 0 in
+  check_bool "r1 live before add" true (Reg.Set.mem (reg 1) s)
+
+let test_loops () =
+  let loops = Loops.natural_loops cfg dom in
+  check_int "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  check_bool "head is head" true (Label.equal l.Loops.head (lbl "head"));
+  check_bool "join in body" true (Loops.in_loop l (lbl "join"));
+  check_bool "then in body" true (Loops.in_loop l (lbl "then"));
+  check_bool "entry not in body" false (Loops.in_loop l (lbl "entry"));
+  check_bool "exit not in body" false (Loops.in_loop l (lbl "exit"))
+
+let test_branch_predict_profile () =
+  let mem = Memory.create ~size:16 in
+  let res = Interp.run ~regs:[] ~mem diamond_loop in
+  let trace = Trace.of_result diamond_loop res in
+  let bp = Branch_predict.of_trace cfg trace in
+  (* r1 = 0,1,2: head's c0 = r1<2 is true twice, false once → predict true *)
+  check_bool "head predicted taken" true (Branch_predict.predict bp (lbl "head"));
+  check_bool "confidence sensible" true
+    (Branch_predict.confidence bp (lbl "head") >= 0.5);
+  let p_then = Branch_predict.edge_probability bp (lbl "head") (lbl "then") in
+  let p_else = Branch_predict.edge_probability bp (lbl "head") (lbl "else") in
+  check_bool "probabilities sum to 1" true (abs_float (p_then +. p_else -. 1.0) < 1e-9)
+
+let test_branch_predict_heuristic () =
+  let bp = Branch_predict.heuristic cfg dom in
+  (* join -> head is a backedge: predicted taken. *)
+  check_bool "backedge predicted" true (Branch_predict.predict bp (lbl "join"))
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "cfg",
+        [ Alcotest.test_case "structure" `Quick test_cfg_structure ] );
+      ( "dominance",
+        [
+          Alcotest.test_case "dominators" `Quick test_dominance;
+          Alcotest.test_case "post-dominators" `Quick test_postdominance;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "live sets" `Quick test_liveness;
+          Alcotest.test_case "live before" `Quick test_live_before;
+        ] );
+      ("loops", [ Alcotest.test_case "natural loops" `Quick test_loops ]);
+      ( "branch-predict",
+        [
+          Alcotest.test_case "profile" `Quick test_branch_predict_profile;
+          Alcotest.test_case "heuristic" `Quick test_branch_predict_heuristic;
+        ] );
+    ]

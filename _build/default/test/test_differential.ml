@@ -1,0 +1,126 @@
+(* Differential testing: generate random structured programs, compile
+   them for every executable model, run the predicated code on the
+   cycle-level machine, and require the observable behaviour of the scalar
+   reference interpreter (exactly for halting runs; same-fatality for
+   fatal traps, where the compiler may legitimately have reordered
+   independent side effects). *)
+
+open Psb_isa
+open Psb_compiler
+module Machine_model = Psb_machine.Machine_model
+module Vliw_sim = Psb_machine.Vliw_sim
+
+open Gen_programs
+
+let outcomes_match (a : Interp.outcome) (b : Interp.outcome) =
+  match (a, b) with
+  | Interp.Halted, Interp.Halted -> true
+  | Interp.Fatal f1, Interp.Fatal f2 -> Fault.equal f1 f2
+  | Interp.Out_of_fuel, Interp.Out_of_fuel -> true
+  | _ -> false
+
+let differential model =
+  QCheck.Test.make
+    ~name:("compiled = scalar [" ^ model.Model.name ^ "]")
+    ~count:120 arb_program
+    (fun g ->
+      let scalar_mem = make_mem g in
+      let scalar = Interp.run ~fuel:500_000 ~regs ~mem:scalar_mem g.program in
+      QCheck.assume (scalar.Interp.outcome <> Interp.Out_of_fuel);
+      let _, profile = Driver.profile_of g.program ~regs ~mem:(make_mem g) in
+      let compiled =
+        Driver.compile ~model ~machine:Machine_model.base ~profile g.program
+      in
+      let vliw_mem = make_mem g in
+      let vliw = Driver.run_vliw compiled ~regs ~mem:vliw_mem in
+      (* On a *fatal* trap only the fault itself is defined: the compiler
+         may have hoisted independent stores/outputs above the faulting
+         instruction (standard VLIW imprecision at fatal traps — the
+         paper's precision mechanism covers speculative faults, which are
+         the recoverable ones). Halted runs must match exactly. *)
+      let ok =
+        match scalar.Interp.outcome with
+        | Interp.Fatal _ ->
+            (* reordering may surface a different (also fatal) fault first *)
+            (match vliw.Vliw_sim.outcome with Interp.Fatal _ -> true | _ -> false)
+        | _ ->
+            outcomes_match scalar.Interp.outcome vliw.Vliw_sim.outcome
+            && scalar.Interp.output = vliw.Vliw_sim.output
+            && Memory.equal scalar_mem vliw_mem
+      in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "scalar: %a / output %s@.vliw: %a / output %s@.memory equal: %b"
+          Interp.pp_outcome scalar.Interp.outcome
+          (String.concat "," (List.map string_of_int scalar.Interp.output))
+          Interp.pp_outcome vliw.Vliw_sim.outcome
+          (String.concat "," (List.map string_of_int vliw.Vliw_sim.output))
+          (Memory.equal scalar_mem vliw_mem);
+      true)
+
+let estimate_never_crashes =
+  QCheck.Test.make ~name:"all models compile + estimate" ~count:60 arb_program
+    (fun g ->
+      let scalar_mem = make_mem g in
+      let scalar = Interp.run ~fuel:500_000 ~regs ~mem:scalar_mem g.program in
+      QCheck.assume (scalar.Interp.outcome = Interp.Halted);
+      let _, profile = Driver.profile_of g.program ~regs ~mem:(make_mem g) in
+      List.for_all
+        (fun model ->
+          let compiled =
+            Driver.compile ~model ~machine:Machine_model.base ~profile g.program
+          in
+          let est =
+            Driver.estimate_cycles compiled g.program
+              ~block_trace:scalar.Interp.block_trace
+          in
+          est > 0)
+        Model.all)
+
+let infinite_shadow_agrees =
+  QCheck.Test.make ~name:"infinite shadow = single shadow semantics" ~count:60
+    arb_program (fun g ->
+      let scalar_mem = make_mem g in
+      let scalar = Interp.run ~fuel:500_000 ~regs ~mem:scalar_mem g.program in
+      QCheck.assume (scalar.Interp.outcome <> Interp.Out_of_fuel);
+      let _, profile = Driver.profile_of g.program ~regs ~mem:(make_mem g) in
+      let compiled =
+        Driver.compile ~single_shadow:false ~model:Model.region_pred
+          ~machine:Machine_model.base ~profile g.program
+      in
+      let vliw_mem = make_mem g in
+      let vliw =
+        Driver.run_vliw ~regfile_mode:Psb_machine.Regfile.Infinite compiled
+          ~regs ~mem:vliw_mem
+      in
+      match scalar.Interp.outcome with
+      | Interp.Fatal _ -> (
+          match vliw.Vliw_sim.outcome with Interp.Fatal _ -> true | _ -> false)
+      | _ ->
+          outcomes_match scalar.Interp.outcome vliw.Vliw_sim.outcome
+          && scalar.Interp.output = vliw.Vliw_sim.output
+          && Memory.equal scalar_mem vliw_mem)
+
+let asm_roundtrip =
+  QCheck.Test.make ~name:"asm print/parse round-trips" ~count:200
+    Gen_programs.arb_program (fun g ->
+      let text = Asm.print g.Gen_programs.program in
+      match Asm.parse text with
+      | Error m -> QCheck.Test.fail_reportf "parse failed: %s@.%s" m text
+      | Ok p -> Asm.print p = text)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            differential Model.region_pred;
+            differential Model.trace_pred;
+            differential Model.region_sched;
+            differential Model.guarded;
+            estimate_never_crashes;
+            infinite_shadow_agrees;
+            asm_roundtrip;
+          ] );
+    ]

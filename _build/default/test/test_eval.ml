@@ -1,0 +1,199 @@
+(* Evaluation tests: lock in the reproduced shapes of the paper's tables
+   and figures — who wins, where, and by roughly how much. These encode
+   the qualitative claims of §4, not exact numbers. *)
+
+open Psb_compiler
+open Psb_eval
+
+let check_bool = Alcotest.(check bool)
+let h = lazy (Harness.create ())
+
+let col (t : Experiments.speedup_table) name =
+  let rec idx i = function
+    | [] -> invalid_arg ("no model " ^ name)
+    | (m : Model.t) :: _ when m.Model.name = name -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  let i = idx 0 t.Experiments.models in
+  ( List.nth t.Experiments.geomean i,
+    List.map (fun (w, ss) -> (w, List.nth ss i)) t.Experiments.rows )
+
+let test_table2 () =
+  let rows = Experiments.table2 (Lazy.force h) in
+  Alcotest.(check int) "six benchmarks" 6 (List.length rows);
+  List.iter
+    (fun (r : Experiments.table2_row) ->
+      check_bool (r.Experiments.t2_name ^ " has lines") true
+        (r.Experiments.t2_lines > 10);
+      check_bool (r.Experiments.t2_name ^ " has cycles") true
+        (r.Experiments.t2_scalar_cycles > 5000))
+    rows
+
+let test_table3_shape () =
+  let rows = Experiments.table3 (Lazy.force h) in
+  let acc name i =
+    let r = List.find (fun r -> r.Experiments.t3_name = name) rows in
+    r.Experiments.t3_acc.(i - 1)
+  in
+  (* paper Table 3 pattern: grep/nroff stay high, others decay *)
+  check_bool "grep(1) ~ .97" true (acc "grep" 1 > 0.9);
+  check_bool "grep(8) high" true (acc "grep" 8 > 0.7);
+  check_bool "nroff(8) high" true (acc "nroff" 8 > 0.7);
+  check_bool "compress(8) low" true (acc "compress" 8 < 0.6);
+  check_bool "espresso(8) low" true (acc "espresso" 8 < 0.6);
+  check_bool "li(8) low" true (acc "li" 8 < 0.6)
+
+let test_fig6_ordering () =
+  let t = Experiments.figure6 (Lazy.force h) in
+  let g, _ = col t "global"
+  and s, _ = col t "squashing"
+  and tr, _ = col t "trace-sched"
+  and rs, _ = col t "region-sched" in
+  (* paper: global 1.27x < squashing 1.45x < trace 1.78x ~ region-sched *)
+  check_bool "global is the weakest" true (g <= s && g <= tr && g <= rs);
+  check_bool "squashing beats global" true (s > g *. 1.02);
+  check_bool "region-sched competitive with trace-sched" true
+    (rs > tr *. 0.95);
+  check_bool "all speed up" true (g > 1.0)
+
+let test_fig7_ordering () =
+  let t = Experiments.figure7 (Lazy.force h) in
+  let g, _ = col t "global"
+  and b, _ = col t "boosting"
+  and tp, tp_rows = col t "trace-pred"
+  and rp, rp_rows = col t "region-pred" in
+  (* paper: global 1.27 < boosting 1.74 < trace-pred 2.24 < region-pred 2.45 *)
+  check_bool "boosting beats global" true (b > g *. 1.05);
+  check_bool "trace-pred at least boosting-level" true (tp > b *. 0.97);
+  check_bool "region-pred is the best overall" true (rp >= tp && rp > b *. 0.97);
+  let w name rows = List.assoc name rows in
+  (* region gains concentrate in the unpredictable programs... *)
+  check_bool "eqntott: region > trace" true
+    (w "eqntott" rp_rows > w "eqntott" tp_rows *. 1.02);
+  check_bool "espresso: region > trace" true
+    (w "espresso" rp_rows > w "espresso" tp_rows *. 1.02);
+  (* ... and vanish on the predictable ones (paper: "no benefit over trace
+     predicating" for grep/nroff; slightly lower on grep/li from commit
+     dependences) *)
+  check_bool "grep: region ~ trace" true
+    (abs_float ((w "grep" rp_rows /. w "grep" tp_rows) -. 1.0) < 0.05);
+  check_bool "nroff: region ~ trace" true
+    (abs_float ((w "nroff" rp_rows /. w "nroff" tp_rows) -. 1.0) < 0.05)
+
+let test_fig8_shape () =
+  let rows = Experiments.figure8 (Lazy.force h) in
+  List.iter
+    (fun (r : Experiments.fig8_row) ->
+      let s issue conds =
+        (List.find
+           (fun (c : Experiments.fig8_cell) ->
+             c.Experiments.issue = issue && c.Experiments.conds = conds)
+           r.Experiments.cells)
+          .Experiments.speedup
+      in
+      (* more allowed conditions never hurts at fixed width *)
+      List.iter
+        (fun issue ->
+          check_bool
+            (Format.asprintf "%s %d-issue monotone in conds"
+               r.Experiments.f8_name issue)
+            true
+            (s issue 1 <= s issue 2 +. 0.01
+            && s issue 2 <= s issue 4 +. 0.01
+            && s issue 4 <= s issue 8 +. 0.01))
+        [ 2; 4; 8 ];
+      (* wider machines never lose at full speculation depth *)
+      check_bool (r.Experiments.f8_name ^ " wider helps") true
+        (s 2 8 <= s 4 8 +. 0.01 && s 4 8 <= s 8 8 +. 0.01);
+      (* the paper: speculation past eight conditions adds little *)
+      check_bool (r.Experiments.f8_name ^ " depth-8 saturates") true
+        (s 8 8 < s 8 4 *. 1.1))
+    rows
+
+let test_shadow_ablation () =
+  let rows = Experiments.shadow_ablation (Lazy.force h) in
+  List.iter
+    (fun (r : Experiments.shadow_row) ->
+      check_bool (r.Experiments.sh_name ^ " loss non-negative") true
+        (r.Experiments.sh_loss >= -0.001))
+    rows;
+  (* the paper's fn.1 (0-1% loss) holds for most programs; [li] is the
+     adversarial case (both diamond arms write the accumulator) *)
+  let small =
+    List.filter (fun r -> r.Experiments.sh_loss < 0.01) rows |> List.length
+  in
+  check_bool "fn.1 holds on most workloads" true (small >= 4)
+
+let test_validation_band () =
+  let rows = Experiments.validation (Lazy.force h) in
+  List.iter
+    (fun (r : Experiments.validation_row) ->
+      let ratio = float_of_int r.Experiments.v_estimated /. float_of_int r.Experiments.v_measured in
+      check_bool
+        (Format.asprintf "%s/%s ratio %.2f in band" r.Experiments.v_name
+           r.Experiments.v_model ratio)
+        true
+        (ratio > 0.75 && ratio < 1.25))
+    rows
+
+let test_sweep_shape () =
+  let rows = Experiments.predictability_sweep () in
+  List.iter
+    (fun (r : Experiments.sweep_row) ->
+      check_bool "region >= trace everywhere" true
+        (r.Experiments.sw_region >= r.Experiments.sw_trace -. 0.02))
+    rows;
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  let gap (r : Experiments.sweep_row) =
+    r.Experiments.sw_region -. r.Experiments.sw_trace
+  in
+  check_bool "gap shrinks as branches become predictable" true
+    (gap first > gap last +. 0.1)
+
+let test_related_spectrum () =
+  let t = Experiments.related_work (Lazy.force h) in
+  let g, _ = col t "guarded"
+  and b, _ = col t "boosting"
+  and rp, _ = col t "region-pred" in
+  (* §2.2's narrative: buffering beats pipeline-only speculative state,
+     and unconstrained predicating tops the spectrum *)
+  check_bool "boosting above guarded" true (b > g);
+  check_bool "region-pred tops the spectrum" true (rp >= b)
+
+let test_limits () =
+  let rows = Limits.analyze_suite () in
+  List.iter
+    (fun (r : Limits.row) ->
+      (* the limit-study shape: basic blocks are ILP-starved, removing
+         control dependences opens a large gap (paper §1) *)
+      check_bool (r.Limits.name ^ " block IPC small") true
+        (r.Limits.block_ipc > 0.3 && r.Limits.block_ipc < 3.0);
+      check_bool (r.Limits.name ^ " oracle above block") true
+        (r.Limits.oracle_ipc > r.Limits.block_ipc);
+      check_bool (r.Limits.name ^ " headroom >= 2x") true (r.Limits.headroom >= 2.0))
+    rows
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "table2" `Quick test_table2;
+          Alcotest.test_case "table3 shape" `Quick test_table3_shape;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig6 ordering" `Slow test_fig6_ordering;
+          Alcotest.test_case "fig7 ordering" `Slow test_fig7_ordering;
+          Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
+        ] );
+      ("limits", [ Alcotest.test_case "headroom" `Quick test_limits ]);
+      ( "related",
+        [ Alcotest.test_case "2.2 spectrum" `Slow test_related_spectrum ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "shadow fn.1" `Slow test_shadow_ablation;
+          Alcotest.test_case "estimate vs measured" `Slow test_validation_band;
+          Alcotest.test_case "predictability sweep" `Slow test_sweep_shape;
+        ] );
+    ]

@@ -1,0 +1,515 @@
+(* Tests of the ISA layer: predicates (with qcheck properties), memory
+   faults, the reference interpreter and its cycle model, and trace
+   analysis. *)
+
+open Psb_isa
+
+let cond = Cond.make
+let reg = Reg.make
+let lbl = Label.make
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Pred ---------- *)
+
+let test_pred_always () =
+  check_bool "always is true" true
+    (Pred.eval Pred.always (fun _ -> Pred.U) = Pred.True);
+  check_bool "is_always" true (Pred.is_always Pred.always);
+  check_int "arity" 0 (Pred.arity Pred.always)
+
+let test_pred_eval () =
+  let p = Pred.of_list [ (cond 0, true); (cond 2, false) ] in
+  let mk c0 c2 c =
+    match Cond.index c with 0 -> c0 | 2 -> c2 | _ -> Pred.U
+  in
+  check_bool "both needed" true (Pred.eval p (mk Pred.T Pred.U) = Pred.Unspec);
+  check_bool "true" true (Pred.eval p (mk Pred.T Pred.F) = Pred.True);
+  check_bool "false" true (Pred.eval p (mk Pred.T Pred.T) = Pred.False);
+  (* paper hardware rule vs early-false rule *)
+  check_bool "paper rule: unspec wins" true
+    (Pred.eval p (mk Pred.U Pred.T) = Pred.Unspec);
+  check_bool "early-false rule" true
+    (Pred.eval_early_false p (mk Pred.U Pred.T) = Pred.False)
+
+let test_pred_contradiction () =
+  Alcotest.check_raises "contradictory literal"
+    (Invalid_argument "Pred.conj: contradictory literal on c1") (fun () ->
+      ignore (Pred.of_list [ (cond 1, true); (cond 1, false) ]))
+
+let test_pred_implies_disjoint () =
+  let p = Pred.of_list [ (cond 0, true); (cond 1, true) ] in
+  let q = Pred.of_list [ (cond 0, true) ] in
+  let r = Pred.of_list [ (cond 0, false) ] in
+  check_bool "p implies q" true (Pred.implies p q);
+  check_bool "q not implies p" false (Pred.implies q p);
+  check_bool "everything implies always" true (Pred.implies q Pred.always);
+  check_bool "disjoint" true (Pred.disjoint p r);
+  check_bool "not disjoint" false (Pred.disjoint p q)
+
+let test_pred_vector () =
+  let p = Pred.of_list [ (cond 0, true); (cond 1, false); (cond 2, true) ] in
+  Alcotest.(check string) "encoding" "101X" (Pred.to_vector ~width:4 p);
+  Alcotest.(check string) "don't care" "1XXX"
+    (Pred.to_vector ~width:4 (Pred.of_list [ (cond 0, true) ]))
+
+let test_pred_rename () =
+  let p = Pred.of_list [ (cond 5, true); (cond 9, false) ] in
+  let q = Pred.rename (fun c -> cond (if Cond.index c = 5 then 1 else 2)) p in
+  check_bool "requires c1 true" true (Pred.requires q (cond 1) = Some true);
+  check_bool "requires !c2" true (Pred.requires q (cond 2) = Some false);
+  check_bool "old names gone" true (Pred.requires q (cond 5) = None);
+  (* A renaming that merges opposite literals must be rejected. *)
+  Alcotest.check_raises "merging rename rejected"
+    (Invalid_argument "Pred.conj: contradictory literal on c0") (fun () ->
+      ignore (Pred.rename (fun _ -> cond 0) p))
+
+(* qcheck generators *)
+
+let gen_pred =
+  QCheck.Gen.(
+    list_size (int_bound 4) (pair (int_bound 5) bool) >|= fun lits ->
+    List.fold_left
+      (fun p (c, v) ->
+        match Pred.conj p (cond c) v with p' -> p' | exception _ -> p)
+      Pred.always lits)
+
+let arb_pred = QCheck.make ~print:(Format.asprintf "%a" Pred.pp) gen_pred
+
+let gen_ccr_fn =
+  QCheck.Gen.(
+    array_size (return 6) (oneofl [ Pred.T; Pred.F; Pred.U ]) >|= fun arr c ->
+    arr.(Cond.index c mod 6))
+
+let prop_eval_monotone =
+  (* Specifying more conditions never flips True<->False; it can only move
+     Unspec to a specified value. *)
+  QCheck.Test.make ~name:"pred eval is monotone under specification"
+    ~count:500
+    (QCheck.pair arb_pred (QCheck.make gen_ccr_fn))
+    (fun (p, lookup) ->
+      let v1 = Pred.eval p lookup in
+      (* specify all unknowns as true *)
+      let lookup2 c = match lookup c with Pred.U -> Pred.T | v -> v in
+      let v2 = Pred.eval p lookup2 in
+      match (v1, v2) with
+      | Pred.True, Pred.True | Pred.False, Pred.False -> true
+      | Pred.Unspec, _ -> true
+      | _ -> false)
+
+let prop_eval_agrees_when_specified =
+  QCheck.Test.make ~name:"paper rule = early-false rule when fully specified"
+    ~count:500
+    (QCheck.pair arb_pred (QCheck.make gen_ccr_fn))
+    (fun (p, lookup) ->
+      let lookup c = match lookup c with Pred.U -> Pred.F | v -> v in
+      Pred.eval p lookup = Pred.eval_early_false p lookup)
+
+let prop_implies_semantics =
+  QCheck.Test.make ~name:"implies is semantic implication" ~count:500
+    (QCheck.triple arb_pred arb_pred (QCheck.make gen_ccr_fn))
+    (fun (p, q, lookup) ->
+      let lookup c = match lookup c with Pred.U -> Pred.T | v -> v in
+      (not (Pred.implies p q))
+      || Pred.eval p lookup <> Pred.True
+      || Pred.eval q lookup = Pred.True)
+
+let prop_disjoint_semantics =
+  QCheck.Test.make ~name:"disjoint predicates are never both true" ~count:500
+    (QCheck.triple arb_pred arb_pred (QCheck.make gen_ccr_fn))
+    (fun (p, q, lookup) ->
+      let lookup c = match lookup c with Pred.U -> Pred.T | v -> v in
+      (not (Pred.disjoint p q))
+      || not (Pred.eval p lookup = Pred.True && Pred.eval q lookup = Pred.True))
+
+(* ---------- Opcode ---------- *)
+
+let test_opcode_semantics () =
+  check_int "add" 7 (Opcode.eval_alu Opcode.Add 3 4);
+  check_int "sub" (-1) (Opcode.eval_alu Opcode.Sub 3 4);
+  check_int "mul" 12 (Opcode.eval_alu Opcode.Mul 3 4);
+  check_int "div" 3 (Opcode.eval_alu Opcode.Div 13 4);
+  check_int "div negative" (-3) (Opcode.eval_alu Opcode.Div (-13) 4);
+  check_int "and" 4 (Opcode.eval_alu Opcode.And 12 6);
+  check_int "or" 14 (Opcode.eval_alu Opcode.Or 12 6);
+  check_int "xor" 10 (Opcode.eval_alu Opcode.Xor 12 6);
+  check_int "sll" 24 (Opcode.eval_alu Opcode.Sll 3 3);
+  check_int "srl" 3 (Opcode.eval_alu Opcode.Srl 24 3);
+  check_int "sra" (-2) (Opcode.eval_alu Opcode.Sra (-8) 2);
+  (* shift counts are masked to 6 bits, so a "negative" count is large *)
+  check_int "sll masked count" (3 lsl 1) (Opcode.eval_alu Opcode.Sll 3 65);
+  Alcotest.check_raises "div by zero"
+    (Opcode.Arithmetic_fault "division by zero") (fun () ->
+      ignore (Opcode.eval_alu Opcode.Div 1 0));
+  check_bool "cmp table" true
+    (Opcode.eval_cmp Opcode.Le 3 3
+    && Opcode.eval_cmp Opcode.Ge 3 3
+    && (not (Opcode.eval_cmp Opcode.Lt 3 3))
+    && Opcode.eval_cmp Opcode.Ne 3 4);
+  check_bool "only div is unsafe" true
+    (Opcode.alu_unsafe Opcode.Div && not (Opcode.alu_unsafe Opcode.Sra))
+
+let test_pred_vector_errors () =
+  Alcotest.check_raises "vector width"
+    (Invalid_argument "Pred.to_vector: c5 out of CCR width 4") (fun () ->
+      ignore (Pred.to_vector ~width:4 (Pred.of_list [ (cond 5, true) ])))
+
+(* ---------- Memory ---------- *)
+
+let test_memory_bounds () =
+  let m = Memory.create ~size:16 in
+  Memory.write m 3 42;
+  check_int "rw" 42 (Memory.read m 3);
+  Alcotest.check_raises "negative is fatal" (Memory.Fault (Memory.Out_of_bounds (-1)))
+    (fun () -> ignore (Memory.read m (-1)));
+  Alcotest.check_raises "past end" (Memory.Fault (Memory.Out_of_bounds 16))
+    (fun () -> ignore (Memory.read m 16))
+
+let test_memory_demand () =
+  let m = Memory.create_demand ~size:1024 ~unmapped:(128, 256) in
+  check_int "mapped region ok" 0 (Memory.read m 10);
+  (match Memory.read m 130 with
+  | _ -> Alcotest.fail "expected unmapped fault"
+  | exception Memory.Fault (Memory.Unmapped 130) -> ());
+  check_bool "handler maps" true (Memory.handle_fault m (Memory.Unmapped 130));
+  check_int "after mapping" 0 (Memory.read m 130);
+  check_bool "fatal not handled" false
+    (Memory.handle_fault m (Memory.Out_of_bounds 2000))
+
+let test_memory_page_boundaries () =
+  (* the demand range is rounded to page granularity *)
+  let m = Memory.create_demand ~size:1024 ~unmapped:(100, 130) in
+  (* pages are 64 words: [64..127] and [128..191] intersect [100,130) *)
+  (match Memory.read m 70 with
+  | _ -> Alcotest.fail "address 70 shares a page with 100: must fault"
+  | exception Memory.Fault (Memory.Unmapped 70) -> ());
+  (match Memory.read m 190 with
+  | _ -> Alcotest.fail "address 190 shares a page with 129: must fault"
+  | exception Memory.Fault (Memory.Unmapped 190) -> ());
+  check_int "next page is mapped" 0 (Memory.read m 192);
+  (* handling one address maps its whole page *)
+  check_bool "handled" true (Memory.handle_fault m (Memory.Unmapped 70));
+  check_int "same page now readable" 0 (Memory.read m 127);
+  (match Memory.read m 128 with
+  | _ -> Alcotest.fail "second page still unmapped"
+  | exception Memory.Fault (Memory.Unmapped 128) -> ())
+
+let test_memory_probe_equal () =
+  let m = Memory.create_demand ~size:512 ~unmapped:(64, 128) in
+  check_bool "probe unmapped" true (Memory.probe m 70 <> None);
+  check_bool "probe ok" true (Memory.probe m 10 = None);
+  check_bool "probe oob" true (Memory.probe m 600 <> None);
+  let m2 = Memory.copy m in
+  Memory.poke m2 10 5;
+  check_bool "copy is independent" false (Memory.equal m m2);
+  Memory.poke m 10 5;
+  check_bool "equal after same writes" true (Memory.equal m m2)
+
+(* ---------- Interp ---------- *)
+
+(* sum = 10 + 20: straight-line program. *)
+let straight_line =
+  Program.make ~entry:(lbl "e")
+    [
+      Program.block (lbl "e")
+        [
+          Instr.Mov { dst = reg 1; src = Operand.imm 10 };
+          Instr.Mov { dst = reg 2; src = Operand.imm 20 };
+          Instr.Alu
+            { op = Opcode.Add; dst = reg 3; a = Operand.reg (reg 1); b = Operand.reg (reg 2) };
+          Instr.Out (Operand.reg (reg 3));
+        ]
+        Instr.Halt;
+    ]
+
+let test_interp_basic () =
+  let mem = Memory.create ~size:64 in
+  let r = Interp.run ~regs:[] ~mem straight_line in
+  check_bool "halted" true (r.Interp.outcome = Interp.Halted);
+  Alcotest.(check (list int)) "output" [ 30 ] r.Interp.output;
+  check_int "r3" 30 (Reg.Map.find (reg 3) r.Interp.regs);
+  (* 4 ops + halt = 5 cycles, no load stalls *)
+  check_int "cycles" 5 r.Interp.cycles
+
+let test_interp_load_use_stall () =
+  let p =
+    Program.make ~entry:(lbl "e")
+      [
+        Program.block (lbl "e")
+          [
+            Instr.Mov { dst = reg 1; src = Operand.imm 0 };
+            Instr.Load { dst = reg 2; base = reg 1; off = 0 };
+            Instr.Alu
+              { op = Opcode.Add; dst = reg 3; a = Operand.reg (reg 2); b = Operand.imm 1 };
+          ]
+          Instr.Halt;
+      ]
+  in
+  let mem = Memory.create ~size:64 in
+  let r = Interp.run ~regs:[] ~mem p in
+  (* 3 ops + halt + 1 load-use stall = 5 *)
+  check_int "cycles with stall" 5 r.Interp.cycles;
+  (* without the dependent use, no stall *)
+  let p2 =
+    Program.make ~entry:(lbl "e")
+      [
+        Program.block (lbl "e")
+          [
+            Instr.Mov { dst = reg 1; src = Operand.imm 0 };
+            Instr.Load { dst = reg 2; base = reg 1; off = 0 };
+            Instr.Alu
+              { op = Opcode.Add; dst = reg 3; a = Operand.imm 5; b = Operand.imm 1 };
+          ]
+          Instr.Halt;
+      ]
+  in
+  let r2 = Interp.run ~regs:[] ~mem:(Memory.create ~size:64) p2 in
+  check_int "cycles without stall" 4 r2.Interp.cycles
+
+let branchy ~n =
+  (* loop: i from n downto 0, accumulate; tests Br/Jmp and trace capture *)
+  Program.make ~entry:(lbl "head")
+    [
+      Program.block (lbl "head")
+        [ Instr.Cmp { op = Opcode.Gt; dst = reg 8; a = Operand.reg (reg 1); b = Operand.imm 0 } ]
+        (Instr.Br { src = reg 8; if_true = lbl "body"; if_false = lbl "done" });
+      Program.block (lbl "body")
+        [
+          Instr.Alu { op = Opcode.Add; dst = reg 2; a = Operand.reg (reg 2); b = Operand.reg (reg 1) };
+          Instr.Alu { op = Opcode.Sub; dst = reg 1; a = Operand.reg (reg 1); b = Operand.imm 1 };
+        ]
+        (Instr.Jmp (lbl "head"));
+      Program.block (lbl "done") [ Instr.Out (Operand.reg (reg 2)) ] Instr.Halt;
+    ]
+  |> fun p -> (p, [ (reg 1, n); (reg 2, 0) ])
+
+let test_interp_loop () =
+  let p, regs = branchy ~n:10 in
+  let r = Interp.run ~regs ~mem:(Memory.create ~size:16) p in
+  Alcotest.(check (list int)) "sum 1..10" [ 55 ] r.Interp.output;
+  check_int "head visits" 11
+    (List.length (List.filter (Label.equal (lbl "head")) r.Interp.block_trace))
+
+let test_interp_fatal_fault () =
+  let p =
+    Program.make ~entry:(lbl "e")
+      [
+        Program.block (lbl "e")
+          [
+            Instr.Mov { dst = reg 1; src = Operand.imm (-8) };
+            Instr.Load { dst = reg 2; base = reg 1; off = 0 };
+          ]
+          Instr.Halt;
+      ]
+  in
+  let r = Interp.run ~regs:[] ~mem:(Memory.create ~size:64) p in
+  match r.Interp.outcome with
+  | Interp.Fatal (Fault.Mem (Memory.Out_of_bounds -8)) -> ()
+  | o -> Alcotest.failf "expected fatal, got %a" Interp.pp_outcome o
+
+let test_interp_recoverable_fault () =
+  let p =
+    Program.make ~entry:(lbl "e")
+      [
+        Program.block (lbl "e")
+          [
+            Instr.Mov { dst = reg 1; src = Operand.imm 130 };
+            Instr.Load { dst = reg 2; base = reg 1; off = 0 };
+            Instr.Out (Operand.reg (reg 2));
+          ]
+          Instr.Halt;
+      ]
+  in
+  let mem = Memory.create_demand ~size:1024 ~unmapped:(128, 256) in
+  let r = Interp.run ~regs:[] ~mem p in
+  check_bool "halted" true (r.Interp.outcome = Interp.Halted);
+  check_int "one fault handled" 1 r.Interp.faults_handled
+
+let test_interp_div_fault () =
+  let p =
+    Program.make ~entry:(lbl "e")
+      [
+        Program.block (lbl "e")
+          [
+            Instr.Alu { op = Opcode.Div; dst = reg 1; a = Operand.imm 1; b = Operand.imm 0 };
+          ]
+          Instr.Halt;
+      ]
+  in
+  let r = Interp.run ~regs:[] ~mem:(Memory.create ~size:16) p in
+  match r.Interp.outcome with
+  | Interp.Fatal (Fault.Arith _) -> ()
+  | o -> Alcotest.failf "expected arith fault, got %a" Interp.pp_outcome o
+
+(* ---------- Trace ---------- *)
+
+let test_trace_counts () =
+  let p, regs = branchy ~n:4 in
+  let r = Interp.run ~regs ~mem:(Memory.create ~size:16) p in
+  let t = Trace.of_result p r in
+  check_int "head count" 5 (Trace.block_count t (lbl "head"));
+  check_int "body count" 4 (Trace.block_count t (lbl "body"));
+  check_int "edge head->body" 4 (Trace.edge_count t ~src:(lbl "head") ~dst:(lbl "body"));
+  check_int "dyn branches" 5 (Trace.dynamic_branches t);
+  check_bool "predicts taken" true (Trace.predict t (lbl "head"));
+  check_bool "taken fraction" true
+    (Trace.taken_fraction t (lbl "head") = Some 0.8)
+
+let test_trace_successive () =
+  let p, regs = branchy ~n:9 in
+  let r = Interp.run ~regs ~mem:(Memory.create ~size:16) p in
+  let t = Trace.of_result p r in
+  (* 10 dynamic branches: 9 taken (predicted), last one not. *)
+  let a1 = Trace.successive_accuracy t 1 in
+  check_bool "acc(1) = 0.9" true (abs_float (a1 -. 0.9) < 1e-9);
+  let a2 = Trace.successive_accuracy t 2 in
+  (* windows of 2: 9 windows, 8 all-correct *)
+  check_bool "acc(2)" true (abs_float (a2 -. (8. /. 9.)) < 1e-9);
+  check_bool "monotone decreasing" true
+    (Trace.successive_accuracy t 4 <= a2 +. 1e-9)
+
+let test_program_validation () =
+  Alcotest.check_raises "undefined target"
+    (Invalid_argument "Program.make: undefined target nowhere in block e")
+    (fun () ->
+      ignore
+        (Program.make ~entry:(lbl "e")
+           [ Program.block (lbl "e") [] (Instr.Jmp (lbl "nowhere")) ]))
+
+(* ---------- Asm ---------- *)
+
+let test_asm_roundtrip_manual () =
+  let text = Asm.print straight_line in
+  match Asm.parse text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok p -> Alcotest.(check string) "round trip" text (Asm.print p)
+
+let test_asm_parse_source () =
+  let src = {x|
+# sum 0..4
+entry main
+main:
+  r1 = 0
+  r2 = 0
+  jmp head
+head:
+  r4 = r1 < 5
+  br r4 ? body : done
+body:
+  r2 = add r2 r1
+  r1 = add r1 1
+  jmp head
+done:
+  out r2
+  halt
+|x} in
+  match Asm.parse src with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok p ->
+      let r = Interp.run ~regs:[] ~mem:(Memory.create ~size:16) p in
+      Alcotest.(check (list int)) "runs" [ 10 ] r.Interp.output;
+      (* round trip again *)
+      Alcotest.(check string) "stable print" (Asm.print p)
+        (Asm.print (Asm.parse_exn (Asm.print p)))
+
+let test_asm_memory_ops () =
+  let src = {x|entry e
+e:
+  r1 = 8
+  store r1+2 = r1
+  r2 = load r1+2
+  r3 = load r1+-8
+  out r2
+  halt
+|x} in
+  match Asm.parse src with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok p ->
+      let r = Interp.run ~regs:[] ~mem:(Memory.create ~size:32) p in
+      Alcotest.(check (list int)) "store/load round trip" [ 8 ] r.Interp.output;
+      Alcotest.(check string) "print stable" (Asm.print p)
+        (Asm.print (Asm.parse_exn (Asm.print p)))
+
+let test_asm_errors () =
+  let bad = [
+    "e:
+  halt
+" (* no entry *);
+    "entry e
+e:
+  r1 = 0
+" (* no terminator *);
+    "entry e
+e:
+  r1 = frob r2 r3
+  halt
+" (* bad op *);
+    "entry e
+e:
+  jmp nowhere
+" (* undefined target *);
+  ] in
+  List.iter
+    (fun src ->
+      match Asm.parse src with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+      | Error _ -> ())
+    bad
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "pred",
+        [
+          Alcotest.test_case "always" `Quick test_pred_always;
+          Alcotest.test_case "eval" `Quick test_pred_eval;
+          Alcotest.test_case "contradiction" `Quick test_pred_contradiction;
+          Alcotest.test_case "implies/disjoint" `Quick test_pred_implies_disjoint;
+          Alcotest.test_case "vector encoding" `Quick test_pred_vector;
+          Alcotest.test_case "rename" `Quick test_pred_rename;
+        ] );
+      qsuite "pred-props"
+        [
+          prop_eval_monotone;
+          prop_eval_agrees_when_specified;
+          prop_implies_semantics;
+          prop_disjoint_semantics;
+        ];
+      ( "opcode",
+        [
+          Alcotest.test_case "semantics" `Quick test_opcode_semantics;
+          Alcotest.test_case "vector errors" `Quick test_pred_vector_errors;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "demand paging" `Quick test_memory_demand;
+          Alcotest.test_case "page boundaries" `Quick test_memory_page_boundaries;
+          Alcotest.test_case "probe/copy/equal" `Quick test_memory_probe_equal;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "basic" `Quick test_interp_basic;
+          Alcotest.test_case "load-use stall" `Quick test_interp_load_use_stall;
+          Alcotest.test_case "loop" `Quick test_interp_loop;
+          Alcotest.test_case "fatal fault" `Quick test_interp_fatal_fault;
+          Alcotest.test_case "recoverable fault" `Quick test_interp_recoverable_fault;
+          Alcotest.test_case "div fault" `Quick test_interp_div_fault;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "counts" `Quick test_trace_counts;
+          Alcotest.test_case "successive accuracy" `Quick test_trace_successive;
+        ] );
+      ( "program",
+        [ Alcotest.test_case "validation" `Quick test_program_validation ] );
+      ( "asm",
+        [
+          Alcotest.test_case "round trip" `Quick test_asm_roundtrip_manual;
+          Alcotest.test_case "parse source" `Quick test_asm_parse_source;
+          Alcotest.test_case "memory ops" `Quick test_asm_memory_ops;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+        ] );
+    ]

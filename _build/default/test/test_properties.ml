@@ -1,0 +1,193 @@
+(* Property-based tests of the compiler's structural invariants, checked
+   over the random-program generator:
+
+   - unit formation: exit predicates are pairwise disjoint (exactly one
+     path out); copies of the same block carry pairwise-disjoint
+     predicates; the per-region condition count respects the CCR; every
+     (copy, direction) has a step; condition-set instructions carry the
+     [alw] predicate;
+   - schedules: the independent validator accepts every model's schedule;
+     every operation issues no later than each exit it is compatible with
+     (nothing needed on a path is left unissued when the path leaves);
+     predicated exits wait for their own conditions. *)
+
+open Psb_isa
+open Psb_compiler
+module Machine_model = Psb_machine.Machine_model
+module Cfg = Psb_cfg.Cfg
+module Dominance = Psb_cfg.Dominance
+module Loops = Psb_cfg.Loops
+
+let machine = Machine_model.base
+
+let units_of g scope =
+  let program = g.Gen_programs.program in
+  let _, profile =
+    Driver.profile_of program ~regs:Gen_programs.regs
+      ~mem:(Gen_programs.make_mem g)
+  in
+  let cfg = Cfg.of_program program in
+  let dom = Dominance.compute cfg in
+  let loop_heads = Loops.loop_heads cfg dom in
+  let params =
+    Runit.default_params ~scope ~max_conds:machine.Machine_model.ccr_size
+      ~fuse_compare:true ()
+  in
+  Runit.build_all params cfg profile ~loop_heads ~entry:program.Program.entry
+
+let forall_units g scope f =
+  Label.Map.for_all (fun _ u -> f u) (units_of g scope)
+
+let both_scopes ~name prop =
+  QCheck.Test.make ~name ~count:80 Gen_programs.arb_program (fun g ->
+      prop g Model.Region && prop g Model.Trace)
+
+let prop_exits_disjoint =
+  both_scopes ~name:"exit predicates pairwise disjoint" (fun g scope ->
+       forall_units g scope (fun u ->
+           let xs = Array.to_list u.Runit.exits in
+           List.for_all
+             (fun (a : Runit.uexit) ->
+               List.for_all
+                 (fun (b : Runit.uexit) ->
+                   a.Runit.xid = b.Runit.xid
+                   || Pred.disjoint a.Runit.pred b.Runit.pred)
+                 xs)
+             xs))
+
+let prop_copies_disjoint =
+  both_scopes ~name:"same-block copies pairwise disjoint" (fun g scope ->
+       forall_units g scope (fun u ->
+           let cs = Array.to_list u.Runit.copies in
+           List.for_all
+             (fun (a : Runit.copy) ->
+               List.for_all
+                 (fun (b : Runit.copy) ->
+                   a.Runit.cid = b.Runit.cid
+                   || (not (Label.equal a.Runit.label b.Runit.label))
+                   || Pred.disjoint a.Runit.pred b.Runit.pred)
+                 cs)
+             cs))
+
+let prop_cond_budget =
+  both_scopes ~name:"condition budget respects CCR" (fun g scope ->
+       forall_units g scope (fun u ->
+           u.Runit.nconds <= machine.Machine_model.ccr_size))
+
+let prop_steps_total =
+  both_scopes ~name:"every copy direction has a step" (fun g scope ->
+       forall_units g scope (fun u ->
+           Array.for_all
+             (fun (c : Runit.copy) ->
+               let b = Program.find g.Gen_programs.program c.Runit.label in
+               let dirs =
+                 match b.Program.term with
+                 | Instr.Br _ -> [ Runit.Dtrue; Runit.Dfalse ]
+                 | Instr.Jmp _ | Instr.Halt -> [ Runit.Djmp ]
+               in
+               List.for_all
+                 (fun d -> Hashtbl.mem u.Runit.steps (c.Runit.cid, d))
+                 dirs)
+             u.Runit.copies))
+
+let prop_setc_always =
+  both_scopes ~name:"condition-set instructions are alw" (fun g scope ->
+       forall_units g scope (fun u ->
+           Array.for_all
+             (fun (i : Runit.uinstr) ->
+               match i.Runit.op with
+               | Instr.Setc _ -> Pred.is_always i.Runit.pred
+               | _ -> true)
+             u.Runit.instrs))
+
+let prop_validator_all_models =
+  QCheck.Test.make ~name:"schedule validator accepts every model" ~count:40
+    Gen_programs.arb_program (fun g ->
+      let program = g.Gen_programs.program in
+      let _, profile =
+        Driver.profile_of program ~regs:Gen_programs.regs
+          ~mem:(Gen_programs.make_mem g)
+      in
+      List.for_all
+        (fun model ->
+          let compiled = Driver.compile ~model ~machine ~profile program in
+          Label.Map.for_all
+            (fun _ s -> Sched.check s model machine = Ok ())
+            compiled.Driver.schedules)
+        (Model.trace_pred_counter :: Model.all))
+
+let prop_completion_before_exits =
+  QCheck.Test.make ~name:"ops issue no later than compatible exits" ~count:60
+    Gen_programs.arb_program (fun g ->
+      let program = g.Gen_programs.program in
+      let _, profile =
+        Driver.profile_of program ~regs:Gen_programs.regs
+          ~mem:(Gen_programs.make_mem g)
+      in
+      let compiled =
+        Driver.compile ~model:Model.region_pred ~machine ~profile program
+      in
+      Label.Map.for_all
+        (fun _ (s : Sched.t) ->
+          let u = s.Sched.unit_ in
+          let ni = Array.length u.Runit.instrs in
+          Array.for_all
+            (fun (i : Runit.uinstr) ->
+              match i.Runit.op with
+              | Instr.Setc _ | Instr.Nop -> true
+              | _ ->
+                  Array.for_all
+                    (fun (x : Runit.uexit) ->
+                      Pred.disjoint i.Runit.dep_pred x.Runit.pred
+                      || i.Runit.seq > x.Runit.seq
+                      || s.Sched.issue.(i.Runit.uid)
+                         <= s.Sched.issue.(ni + x.Runit.xid))
+                    u.Runit.exits)
+            u.Runit.instrs)
+        compiled.Driver.schedules)
+
+let prop_exits_wait_for_conditions =
+  QCheck.Test.make ~name:"predicated exits wait for their conditions"
+    ~count:60 Gen_programs.arb_program (fun g ->
+      let program = g.Gen_programs.program in
+      let _, profile =
+        Driver.profile_of program ~regs:Gen_programs.regs
+          ~mem:(Gen_programs.make_mem g)
+      in
+      let compiled =
+        Driver.compile ~model:Model.region_pred ~machine ~profile program
+      in
+      Label.Map.for_all
+        (fun _ (s : Sched.t) ->
+          let u = s.Sched.unit_ in
+          let ni = Array.length u.Runit.instrs in
+          Array.for_all
+            (fun (x : Runit.uexit) ->
+              Cond.Set.for_all
+                (fun c ->
+                  let setc = Runit.setc_uid u c in
+                  s.Sched.issue.(ni + x.Runit.xid) >= s.Sched.issue.(setc) + 1)
+                (Pred.conds x.Runit.pred))
+            u.Runit.exits)
+        compiled.Driver.schedules)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "runit",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_exits_disjoint;
+            prop_copies_disjoint;
+            prop_cond_budget;
+            prop_steps_total;
+            prop_setc_always;
+          ] );
+      ( "sched",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_validator_all_models;
+            prop_completion_before_exits;
+            prop_exits_wait_for_conditions;
+          ] );
+    ]
