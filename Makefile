@@ -1,0 +1,25 @@
+.PHONY: all build test fmt bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+bench:
+	dune exec bench/main.exe
+
+# Machine-readable results (Report schema v1) for archiving in CI.
+bench-json:
+	mkdir -p _artifacts
+	dune exec bench/main.exe -- --json > _artifacts/results.json
+	@echo wrote _artifacts/results.json
+
+clean:
+	dune clean
+	rm -rf _artifacts

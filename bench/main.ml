@@ -3,10 +3,13 @@
    Default: regenerate every table and figure of the paper (plus the
    ablations) and print them.
 
-     dune exec bench/main.exe                # everything
-     dune exec bench/main.exe -- table2      # one experiment
-     dune exec bench/main.exe -- bechamel    # Bechamel timings of the
-                                             # regeneration of each table
+     dune exec bench/main.exe                   # everything
+     dune exec bench/main.exe -- table2         # one experiment
+     dune exec bench/main.exe -- --json         # everything, as one JSON
+                                                # document (Report schema)
+     dune exec bench/main.exe -- --json fig6    # a subset, as JSON
+     dune exec bench/main.exe -- bechamel       # Bechamel timings of the
+                                                # regeneration of each table
 
    Experiments: table2 table3 fig6 fig7 fig8 shadow validation counter btb
    related dup size unroll sweep limits hwcost *)
@@ -78,14 +81,17 @@ let experiments : (string * string * (Format.formatter -> unit)) list =
       fun ppf -> Hwcost.pp_report ppf (Hwcost.analyze Hwcost.default) );
   ]
 
+let usage_error name =
+  Format.eprintf "unknown experiment %s; available: %s@." name
+    (String.concat " " (List.map (fun (n, _, _) -> n) experiments));
+  exit 2
+
 let run_one name =
   match List.find_opt (fun (n, _, _) -> n = name) experiments with
   | Some (_, _, f) ->
       f Format.std_formatter;
       Format.printf "@."
-  | None ->
-      Format.printf "unknown experiment %s; available: %s@." name
-        (String.concat " " (List.map (fun (n, _, _) -> n) experiments))
+  | None -> usage_error name
 
 let run_all () =
   List.iter
@@ -120,9 +126,18 @@ let run_bechamel () =
          | Some [ est ] -> Format.printf "%-40s %14.0f ns/run@." name est
          | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
 
+let run_json names =
+  let names = if names = [] then Report.experiment_names else names in
+  List.iter
+    (fun n -> if not (List.mem n Report.experiment_names) then usage_error n)
+    names;
+  let doc = Report.all ~names (Lazy.force h) in
+  print_endline (Psb_obs.Json.to_string doc)
+
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] -> run_all ()
   | [ _; "bechamel" ] -> run_bechamel ()
+  | _ :: "--json" :: names -> run_json names
   | _ :: names -> List.iter run_one names
   | [] -> ()

@@ -5,6 +5,9 @@
      run WORKLOAD           scalar reference run (cycles, output, profile)
      compile WORKLOAD       compile and dump units/schedules/predicated code
      sim WORKLOAD           compile and execute on the VLIW machine
+     trace WORKLOAD         emit a run as Chrome trace-event JSON
+     timeline WORKLOAD      human-readable machine event log
+     profile WORKLOAD       cycle-accounting breakdown, hot blocks, metrics
      speedup WORKLOAD       all models side by side
      experiments [NAME..]   regenerate the paper's tables and figures *)
 
@@ -14,6 +17,7 @@ open Psb_compiler
 open Psb_workloads
 module Machine_model = Psb_machine.Machine_model
 module Vliw_sim = Psb_machine.Vliw_sim
+module Vliw_trace = Psb_machine.Vliw_trace
 module Pcode = Psb_machine.Pcode
 
 let workload_arg =
@@ -32,6 +36,8 @@ let model_arg =
   let mconv =
     Arg.conv ~docv:"MODEL"
       ( (fun s ->
+          (* accept region_pred as a spelling of region-pred, etc. *)
+          let s = String.map (function '_' -> '-' | c -> c) s in
           match
             List.find_opt
               (fun (m : Model.t) -> m.Model.name = s)
@@ -169,9 +175,9 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Execute a workload on the predicating VLIW machine")
     Term.(const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg)
 
-(* ----- trace: machine event timeline ----- *)
+(* ----- timeline: human-readable machine event log ----- *)
 
-let trace_cmd =
+let timeline_cmd =
   let run (w : Dsl.t) model limit =
     let machine = Machine_model.base in
     let _, profile =
@@ -200,9 +206,199 @@ let trace_cmd =
     Arg.(value & opt int 60 & info [ "n" ] ~docv:"N" ~doc:"Events to show.")
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "timeline"
        ~doc:"Show the machine's commit/squash/recovery timeline for a workload")
     Term.(const run $ workload_arg $ model_arg $ limit)
+
+(* ----- trace: Chrome trace-event JSON ----- *)
+
+let trace_cmd =
+  let run (w : Dsl.t) model issue opt out limit =
+    let machine = machine_of_issue issue in
+    let program = preoptimize opt w.Dsl.program in
+    let _, profile =
+      Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let compiled = Driver.compile ~model ~machine ~profile program in
+    if compiled.Driver.pcode = None then begin
+      Format.eprintf "model %s is not executable; pick one of:@." model.Model.name;
+      List.iter
+        (fun (m : Model.t) ->
+          if m.Model.executable then Format.eprintf "  %s@." m.Model.name)
+        Model.all;
+      exit 1
+    end;
+    let sink = Vliw_trace.create ?limit ~model:machine () in
+    let res =
+      Driver.run_vliw compiled
+        ~on_event:(Vliw_trace.on_event sink)
+        ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let json = Psb_obs.Json.to_string (Vliw_trace.to_json ~result:res sink) in
+    (match out with
+    | None -> print_endline json
+    | Some path ->
+        let oc =
+          try open_out path
+          with Sys_error m ->
+            Format.eprintf "cannot write trace: %s@." m;
+            exit 1
+        in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "wrote %s (%a in %d cycles)@." path Interp.pp_outcome
+          res.Vliw_sim.outcome res.Vliw_sim.cycles);
+    if Vliw_trace.truncated sink then
+      Format.eprintf "warning: trace truncated at the event limit (--limit)@."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of standard output.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Cap the number of recorded trace events (default 2000000).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles $(i,WORKLOAD), executes it on the VLIW machine, and \
+         emits the run as Chrome trace-event JSON. Load the file in \
+         Perfetto (https://ui.perfetto.dev) or chrome://tracing; one \
+         simulated cycle renders as one microsecond.";
+      `P
+        "Tracks: $(b,issue) shows one span per issued bundle; \
+         $(b,alu)/$(b,br)/$(b,ld)/$(b,st) lanes show each executed \
+         operation for the length of its latency (speculative ops are \
+         suffixed $(b,.s)); $(b,recovery) spans each exception \
+         re-execution episode; $(b,ccr), $(b,shadow-regfile) and \
+         $(b,store-buffer) carry instant markers for condition writes, \
+         speculative commits/squashes and store traffic, plus a \
+         store-buffer occupancy counter series.";
+      `P
+        "The final outcome, cycle count and cycle-accounting breakdown \
+         travel in the document's $(b,metadata) object.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace" ~man
+       ~doc:"Emit a run as Chrome trace-event JSON (Perfetto-loadable)")
+    Term.(
+      const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ out
+      $ limit)
+
+(* ----- profile: where did the cycles go ----- *)
+
+let profile_cmd =
+  let run (w : Dsl.t) model issue opt json =
+    let machine = machine_of_issue issue in
+    let program = preoptimize opt w.Dsl.program in
+    let metrics = Psb_obs.Metrics.create () in
+    let scalar =
+      Psb_machine.Scalar_sim.run ~metrics ~record_trace:true ~regs:w.Dsl.regs
+        ~mem:(w.Dsl.make_mem ()) program
+    in
+    let trace = Trace.of_result program scalar in
+    let profile =
+      Psb_cfg.Branch_predict.of_trace (Psb_cfg.Cfg.of_program program) trace
+    in
+    let compiled = Driver.compile ~metrics ~model ~machine ~profile program in
+    let res =
+      if compiled.Driver.pcode = None then None
+      else
+        Some
+          (Driver.run_vliw compiled ~metrics ~regs:w.Dsl.regs
+             ~mem:(w.Dsl.make_mem ()))
+    in
+    let hot = Trace.hot_blocks ~limit:10 trace in
+    if json then begin
+      let open Psb_obs.Json in
+      let doc =
+        obj
+          [
+            ("workload", String w.Dsl.name);
+            ("model", String model.Model.name);
+            ("scalar_cycles", Int scalar.Interp.cycles);
+            ( "vliw_cycles",
+              match res with
+              | Some r -> Int r.Vliw_sim.cycles
+              | None -> Null );
+            ( "cycle_breakdown",
+              match res with
+              | Some r ->
+                  Obj
+                    (List.map
+                       (fun (k, v) -> (k, Int v))
+                       (Vliw_sim.breakdown_fields r.Vliw_sim.breakdown))
+              | None -> Null );
+            ( "hot_blocks",
+              List
+                (List.map
+                   (fun (l, n) ->
+                     Obj
+                       [
+                         ("label", String (Label.name l)); ("count", Int n);
+                       ])
+                   hot) );
+            ("metrics", Psb_obs.Metrics.to_json metrics);
+          ]
+      in
+      print_endline (to_string doc)
+    end
+    else begin
+      Format.printf "workload:      %s  (model %s)@." w.Dsl.name
+        model.Model.name;
+      Format.printf "scalar:        %d cycles@." scalar.Interp.cycles;
+      (match res with
+      | Some r ->
+          Format.printf "vliw:          %d cycles (%.2fx)@.@." r.Vliw_sim.cycles
+            (float_of_int scalar.Interp.cycles
+            /. float_of_int r.Vliw_sim.cycles);
+          Format.printf "%a@." Vliw_sim.pp_breakdown r.Vliw_sim.breakdown
+      | None ->
+          Format.printf "vliw:          (model %s is estimate-only)@."
+            model.Model.name);
+      Format.printf "@.hot blocks (scalar profile):@.";
+      List.iter
+        (fun (l, n) -> Format.printf "  %-12s %8d executions@." (Label.name l) n)
+        hot;
+      Format.printf "@.metrics:@.%a@." Psb_obs.Metrics.pp metrics
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON document instead of text.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles and runs $(i,WORKLOAD) with the metrics registry \
+         attached to every stage, then reports: the cycle-accounting \
+         breakdown (every simulated cycle charged to exactly one of \
+         useful issue, squashed issue, shadow-conflict stall, \
+         store-buffer stall, recovery re-execution or region-transition \
+         penalty — the categories sum to the total cycle count); the \
+         hottest basic blocks of the scalar profile; and the collected \
+         metrics — compiler pass timings, schedule densities, dynamic \
+         operation classes and store-buffer occupancy histograms.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "profile" ~man
+       ~doc:"Cycle-accounting breakdown, hot blocks and metrics for a workload")
+    Term.(
+      const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ json)
 
 (* ----- speedup ----- *)
 
@@ -399,5 +595,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; compile_cmd; sim_cmd; speedup_cmd; trace_cmd;
-            exec_cmd; pexec_cmd; experiments_cmd;
+            timeline_cmd; profile_cmd; exec_cmd; pexec_cmd; experiments_cmd;
           ]))

@@ -21,57 +21,87 @@ let profile_of program ~regs ~mem =
   let trace = Trace.of_result program result in
   (result, Branch_predict.of_trace cfg trace)
 
-let compile ?(single_shadow = true) ?(avoid_commit_deps = false) ~model
-    ~machine ~profile program =
-  let cfg = Cfg.of_program program in
-  let dom = Dominance.compute cfg in
+let compile ?metrics ?(single_shadow = true) ?(avoid_commit_deps = false)
+    ~model ~machine ~profile program =
+  let timed pass f =
+    match metrics with
+    | None -> f ()
+    | Some m ->
+        Psb_obs.Metrics.time m "compile_pass_seconds"
+          ~labels:[ ("pass", pass) ]
+          f
+  in
+  let cfg, dom = timed "cfg" (fun () ->
+      let cfg = Cfg.of_program program in
+      (cfg, Dominance.compute cfg))
+  in
   let loop_heads = Loops.loop_heads cfg dom in
   let params =
     Runit.default_params ~scope:model.Model.scope
       ~max_conds:machine.Machine_model.ccr_size
       ~fuse_compare:model.Model.branch_elim ~avoid_commit_deps ()
   in
-  let units =
-    Runit.build_all params cfg profile ~loop_heads ~entry:program.Program.entry
+  let units = timed "unit_formation" (fun () ->
+      Runit.build_all params cfg profile ~loop_heads ~entry:program.Program.entry)
   in
-  let schedules =
-    Label.Map.map (fun u -> Sched.schedule model machine ~single_shadow u) units
+  let schedules = timed "schedule" (fun () ->
+      Label.Map.map (fun u -> Sched.schedule model machine ~single_shadow u) units)
   in
-  Label.Map.iter
-    (fun header sched ->
-      match Sched.check sched model machine with
-      | Ok () -> ()
-      | Error e ->
-          failwith
-            (Format.asprintf "Driver.compile: %s schedule for %a invalid: %s"
-               model.Model.name Label.pp header e))
-    schedules;
+  timed "check" (fun () ->
+      Label.Map.iter
+        (fun header sched ->
+          match Sched.check sched model machine with
+          | Ok () -> ()
+          | Error e ->
+              failwith
+                (Format.asprintf "Driver.compile: %s schedule for %a invalid: %s"
+                   model.Model.name Label.pp header e))
+        schedules);
   let pcode =
-    if model.Model.executable then begin
-      let regions =
-        Label.Map.bindings schedules |> List.map (fun (_, s) -> Sched.emit s)
-      in
-      let code = Pcode.make ~entry:program.Program.entry regions in
-      (match Pcode.check_resources machine code with
-      | Ok () -> ()
-      | Error e -> failwith ("Driver.compile: emitted code over budget: " ^ e));
-      Some code
-    end
+    if model.Model.executable then
+      timed "emit" (fun () ->
+          let regions =
+            Label.Map.bindings schedules |> List.map (fun (_, s) -> Sched.emit s)
+          in
+          let code = Pcode.make ~entry:program.Program.entry regions in
+          (match Pcode.check_resources machine code with
+          | Ok () -> ()
+          | Error e ->
+              failwith ("Driver.compile: emitted code over budget: " ^ e));
+          Some code)
     else None
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let open Psb_obs.Metrics in
+      inc (counter m "compile_units") ~by:(Label.Map.cardinal units);
+      let density =
+        histogram m "sched_density"
+          ~buckets:[ 0.5; 1.; 1.5; 2.; 2.5; 3.; 3.5; 4.; 6.; 8. ]
+      in
+      Label.Map.iter
+        (fun _ (s : Sched.t) ->
+          if s.Sched.length > 0 then
+            observe density
+              (float_of_int (Array.length s.Sched.issue)
+              /. float_of_int s.Sched.length))
+        schedules);
   { model; machine; units; schedules; pcode }
 
 let estimate_cycles c program ~block_trace =
   (Cycles.measure ~units:c.units ~schedules:c.schedules program ~block_trace)
     .Cycles.cycles
 
-let run_vliw ?regfile_mode c ~regs ~mem =
+let run_vliw ?regfile_mode ?on_event ?metrics c ~regs ~mem =
   match c.pcode with
   | None ->
       invalid_arg
         (Format.asprintf "Driver.run_vliw: model %s is not executable"
            c.model.Model.name)
-  | Some code -> Vliw_sim.run ?regfile_mode ~model:c.machine ~regs ~mem code
+  | Some code ->
+      Vliw_sim.run ?regfile_mode ?on_event ?metrics ~model:c.machine ~regs ~mem
+        code
 
 let code_size c =
   match c.pcode with

@@ -21,6 +21,7 @@ val profile_of : Program.t -> regs:(Reg.t * int) list -> mem:Memory.t ->
     memory is consumed (pass a fresh copy). *)
 
 val compile :
+  ?metrics:Psb_obs.Metrics.t ->
   ?single_shadow:bool ->
   ?avoid_commit_deps:bool ->
   model:Model.t ->
@@ -31,18 +32,26 @@ val compile :
 (** @raise Failure if any unit schedule fails validation. To compile an
     optimised program, apply {!Transform.optimize} (and
     {!Transform.jump_thread}) {e before} profiling, so the training trace
-    and the compiled code agree on block labels. *)
+    and the compiled code agree on block labels.
+
+    [metrics] collects per-pass wall-clock timings
+    ([compile_pass_seconds{pass=cfg|unit_formation|schedule|check|emit}]),
+    the unit count, and a schedule-density histogram ([sched_density],
+    operations per bundle). *)
 
 val estimate_cycles : compiled -> Program.t -> block_trace:Label.t list -> int
 (** Trace-driven cycle count (see {!Cycles}). *)
 
 val run_vliw :
   ?regfile_mode:Psb_machine.Regfile.mode ->
+  ?on_event:(int -> Vliw_sim.event -> unit) ->
+  ?metrics:Psb_obs.Metrics.t ->
   compiled ->
   regs:(Reg.t * int) list ->
   mem:Memory.t ->
   Vliw_sim.result
-(** Execute the compiled predicated code on the machine simulator.
+(** Execute the compiled predicated code on the machine simulator;
+    [on_event] and [metrics] are passed through to {!Vliw_sim.run}.
     @raise Invalid_argument if the model is not executable. *)
 
 val code_size : compiled -> int

@@ -1,0 +1,252 @@
+open Psb_compiler
+module Json = Psb_obs.Json
+module Hwcost = Psb_machine.Hwcost
+
+let str s = Json.String s
+let flt f = Json.Float f
+
+let speedup_table_json (t : Experiments.speedup_table) =
+  Json.Obj
+    [
+      ( "models",
+        Json.List (List.map (fun (m : Model.t) -> str m.Model.name) t.models)
+      );
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (name, speedups) ->
+               Json.Obj
+                 [
+                   ("name", str name);
+                   ("speedups", Json.List (List.map flt speedups));
+                 ])
+             t.Experiments.rows) );
+      ("geomean", Json.List (List.map flt t.Experiments.geomean));
+    ]
+
+let table2_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.table2_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.t2_name);
+             ("lines", Json.Int r.Experiments.t2_lines);
+             ("scalar_cycles", Json.Int r.Experiments.t2_scalar_cycles);
+           ])
+       rows)
+
+let table3_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.table3_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.t3_name);
+             ( "accuracy",
+               Json.List
+                 (Array.to_list (Array.map flt r.Experiments.t3_acc)) );
+           ])
+       rows)
+
+let fig8_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.fig8_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.f8_name);
+             ( "cells",
+               Json.List
+                 (List.map
+                    (fun (c : Experiments.fig8_cell) ->
+                      Json.Obj
+                        [
+                          ("issue", Json.Int c.Experiments.issue);
+                          ("conds", Json.Int c.Experiments.conds);
+                          ("speedup", flt c.Experiments.speedup);
+                        ])
+                    r.Experiments.cells) );
+           ])
+       rows)
+
+let shadow_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.shadow_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.sh_name);
+             ("single_cycles", Json.Int r.Experiments.sh_single_cycles);
+             ("infinite_cycles", Json.Int r.Experiments.sh_infinite_cycles);
+             ("conflicts", Json.Int r.Experiments.sh_conflicts);
+             ("loss", flt r.Experiments.sh_loss);
+           ])
+       rows)
+
+let validation_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.validation_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.v_name);
+             ("model", str r.Experiments.v_model);
+             ("estimated", Json.Int r.Experiments.v_estimated);
+             ("measured", Json.Int r.Experiments.v_measured);
+           ])
+       rows)
+
+let counter_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.counter_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.c_name);
+             ("vector", flt r.Experiments.c_vector);
+             ("counter", flt r.Experiments.c_counter);
+           ])
+       rows)
+
+let btb_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.btb_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.b_name);
+             ("free", Json.Int r.Experiments.b_free);
+             ("miss1", Json.Int r.Experiments.b_miss1);
+           ])
+       rows)
+
+let dup_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.dup_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.d_name);
+             ("merged", flt r.Experiments.d_merged);
+             ("split", flt r.Experiments.d_split);
+           ])
+       rows)
+
+let size_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.size_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.s_name);
+             ("scalar", Json.Int r.Experiments.s_scalar);
+             ( "by_model",
+               Json.Obj
+                 (List.map
+                    (fun (m, slots) -> (m, Json.Int slots))
+                    r.Experiments.s_by_model) );
+           ])
+       rows)
+
+let unroll_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.unroll_row) ->
+         Json.Obj
+           [
+             ("name", str r.Experiments.u_name);
+             ( "by_factor",
+               Json.List
+                 (List.map
+                    (fun (factor, speedup) ->
+                      Json.Obj
+                        [
+                          ("factor", Json.Int factor);
+                          ("speedup", flt speedup);
+                        ])
+                    r.Experiments.u_by_factor) );
+           ])
+       rows)
+
+let sweep_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.sweep_row) ->
+         Json.Obj
+           [
+             ("taken_prob", flt r.Experiments.sw_taken_prob);
+             ("trace", flt r.Experiments.sw_trace);
+             ("region", flt r.Experiments.sw_region);
+           ])
+       rows)
+
+let limits_json rows =
+  Json.List
+    (List.map
+       (fun (r : Limits.row) ->
+         Json.Obj
+           [
+             ("name", str r.Limits.name);
+             ("dyn_instrs", Json.Int r.Limits.dyn_instrs);
+             ("block_ipc", flt r.Limits.block_ipc);
+             ("oracle_ipc", flt r.Limits.oracle_ipc);
+             ("headroom", flt r.Limits.headroom);
+           ])
+       rows)
+
+let hwcost_json (r : Hwcost.report) =
+  Json.Obj
+    [
+      ("base_transistors", Json.Int r.Hwcost.base_transistors);
+      ("storage_transistors", Json.Int r.Hwcost.storage_transistors);
+      ("commit_transistors", Json.Int r.Hwcost.commit_transistors);
+      ("storage_overhead", flt r.Hwcost.storage_overhead);
+      ("commit_overhead", flt r.Hwcost.commit_overhead);
+      ("total_overhead", flt r.Hwcost.total_overhead);
+      ("eval_gate_levels", Json.Int r.Hwcost.eval_gate_levels);
+      ("encode_bits_region", Json.Int r.Hwcost.encode_bits_region);
+      ("encode_bits_trace", Json.Int r.Hwcost.encode_bits_trace);
+      ("encode_bits_srcs", Json.Int r.Hwcost.encode_bits_srcs);
+    ]
+
+let experiment_names =
+  [
+    "table2"; "table3"; "fig6"; "fig7"; "fig8"; "related"; "shadow";
+    "validation"; "counter"; "btb"; "dup"; "size"; "unroll"; "sweep";
+    "limits"; "hwcost";
+  ]
+
+let experiment h = function
+  | "table2" -> Some (table2_json (Experiments.table2 h))
+  | "table3" -> Some (table3_json (Experiments.table3 h))
+  | "fig6" -> Some (speedup_table_json (Experiments.figure6 h))
+  | "fig7" -> Some (speedup_table_json (Experiments.figure7 h))
+  | "fig8" -> Some (fig8_json (Experiments.figure8 h))
+  | "related" -> Some (speedup_table_json (Experiments.related_work h))
+  | "shadow" -> Some (shadow_json (Experiments.shadow_ablation h))
+  | "validation" -> Some (validation_json (Experiments.validation h))
+  | "counter" -> Some (counter_json (Experiments.counter_ablation h))
+  | "btb" -> Some (btb_json (Experiments.btb_ablation h))
+  | "dup" -> Some (dup_json (Experiments.dup_ablation h))
+  | "size" -> Some (size_json (Experiments.code_growth h))
+  | "unroll" -> Some (unroll_json (Experiments.unroll_ablation h))
+  | "sweep" -> Some (sweep_json (Experiments.predictability_sweep ()))
+  | "limits" -> Some (limits_json (Limits.analyze_suite ()))
+  | "hwcost" -> Some (hwcost_json (Hwcost.analyze Hwcost.default))
+  | _ -> None
+
+let all ?(names = experiment_names) h =
+  let experiments =
+    List.map
+      (fun name ->
+        match experiment h name with
+        | Some v -> (name, v)
+        | None -> invalid_arg ("Report.all: unknown experiment " ^ name))
+      names
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("experiments", Json.Obj experiments);
+    ]

@@ -1,0 +1,44 @@
+(** Machine-readable (JSON) serialisation of the experiment results —
+    the schema behind [bench/main.exe --json] and future benchmark
+    trajectories.
+
+    Document shape:
+    {v
+    { "schema_version": 1,
+      "experiments": {
+        "table2":     [ {"name", "lines", "scalar_cycles"} ... ],
+        "table3":     [ {"name", "accuracy": [..8 floats..]} ... ],
+        "fig6" / "fig7" / "related":
+                      { "models": [..], "rows": [{"name", "speedups"}..],
+                        "geomean": [..] },
+        "fig8":       [ {"name", "cells": [{"issue","conds","speedup"}..]} ],
+        "shadow":     [ {"name", "single_cycles", "infinite_cycles",
+                         "conflicts", "loss"} ... ],
+        "validation": [ {"name", "model", "estimated", "measured"} ... ],
+        "counter":    [ {"name", "vector", "counter"} ... ],
+        "btb":        [ {"name", "free", "miss1"} ... ],
+        "dup":        [ {"name", "merged", "split"} ... ],
+        "size":       [ {"name", "scalar", "by_model": {..}} ... ],
+        "unroll":     [ {"name", "by_factor": [{"factor","speedup"}..]} ],
+        "sweep":      [ {"taken_prob", "trace", "region"} ... ],
+        "limits":     [ {"name", "dyn_instrs", "block_ipc", "oracle_ipc",
+                         "headroom"} ... ],
+        "hwcost":     { ... the Hwcost.report fields ... } } }
+    v}
+
+    A golden test round-trips the document through {!Psb_obs.Json.parse}
+    so the schema cannot drift silently. *)
+
+module Json = Psb_obs.Json
+
+val experiment_names : string list
+(** Every name {!experiment} accepts, in canonical order. *)
+
+val experiment : Harness.t -> string -> Json.t option
+(** Run one experiment by its bench/CLI name; [None] for unknown names. *)
+
+val all : ?names:string list -> Harness.t -> Json.t
+(** The full document ([names] defaults to {!experiment_names}).
+    @raise Invalid_argument on an unknown name. *)
+
+val speedup_table_json : Experiments.speedup_table -> Json.t

@@ -49,6 +49,18 @@ let block_count t l = Option.value (Hashtbl.find_opt t.block_counts l) ~default:
 let edge_count t ~src ~dst =
   Option.value (Hashtbl.find_opt t.edge_counts (src, dst)) ~default:0
 
+let hot_blocks ?limit t =
+  let all =
+    Hashtbl.fold (fun l n acc -> (l, n) :: acc) t.block_counts []
+    |> List.sort (fun (la, na) (lb, nb) ->
+           match compare nb na with
+           | 0 -> compare (Label.name la) (Label.name lb)
+           | c -> c)
+  in
+  match limit with
+  | None -> all
+  | Some n -> List.filteri (fun i _ -> i < n) all
+
 let dynamic_branches t = Array.length t.branch_stream
 
 let taken_fraction t l =

@@ -14,6 +14,11 @@ val block_count : t -> Label.t -> int
 val edge_count : t -> src:Label.t -> dst:Label.t -> int
 val dynamic_branches : t -> int
 
+val hot_blocks : ?limit:int -> t -> (Label.t * int) list
+(** Blocks by descending execution count (ties broken by label name) —
+    the hot-block histogram behind [psb profile]. [limit] keeps the top
+    [n] entries; all blocks by default. *)
+
 val taken_fraction : t -> Label.t -> float option
 (** For a block ending in [Br], the fraction of executions that went to
     [if_true]; [None] if the block never executed or is not a branch. *)

@@ -1,6 +1,32 @@
 open Psb_isa
 
-let run = Interp.run
+let class_of (op : Instr.op) =
+  match op with
+  | Instr.Alu _ -> "alu"
+  | Instr.Mov _ -> "mov"
+  | Instr.Load _ -> "load"
+  | Instr.Store _ -> "store"
+  | Instr.Cmp _ -> "cmp"
+  | Instr.Setc _ -> "setc"
+  | Instr.Out _ -> "out"
+  | Instr.Nop -> "nop"
+
+let run ?fuel ?record_trace ?observer ?metrics ~regs ~mem program =
+  match metrics with
+  | None -> Interp.run ?fuel ?record_trace ?observer ~regs ~mem program
+  | Some m ->
+      let open Psb_obs.Metrics in
+      let count op addr =
+        inc (counter m "scalar_ops" ~labels:[ ("class", class_of op) ]);
+        if addr <> None then inc (counter m "scalar_mem_accesses");
+        match observer with Some f -> f op addr | None -> ()
+      in
+      let r =
+        Interp.run ?fuel ?record_trace ~observer:count ~regs ~mem program
+      in
+      inc (counter m "scalar_cycles_total") ~by:r.Interp.cycles;
+      inc (counter m "scalar_dyn_instrs") ~by:r.Interp.dyn_instrs;
+      r
 
 let cycles ~regs ~mem program =
-  (Interp.run ~record_trace:false ~regs ~mem program).Interp.cycles
+  (run ~record_trace:false ~regs ~mem program).Interp.cycles

@@ -11,10 +11,15 @@ val run :
   ?fuel:int ->
   ?record_trace:bool ->
   ?observer:(Instr.op -> int option -> unit) ->
+  ?metrics:Psb_obs.Metrics.t ->
   regs:(Reg.t * int) list ->
   mem:Memory.t ->
   Program.t ->
   Interp.result
+(** [metrics] collects per-class dynamic instruction counters
+    ([scalar_ops{class=alu|load|...}]), memory-access and cycle totals —
+    the same registry the VLIW machine and the compiler report into, so
+    one dump covers a whole compile-and-run pipeline. *)
 
 val cycles :
   regs:(Reg.t * int) list -> mem:Memory.t -> Program.t -> int

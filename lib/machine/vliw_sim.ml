@@ -16,6 +16,40 @@ type stats = {
   region_transitions : int;
 }
 
+type breakdown = {
+  bd_useful : int;
+  bd_squashed : int;
+  bd_shadow_stall : int;
+  bd_sb_stall : int;
+  bd_recovery : int;
+  bd_transition : int;
+}
+
+let breakdown_fields b =
+  [
+    ("useful_issue", b.bd_useful);
+    ("squashed_issue", b.bd_squashed);
+    ("shadow_conflict_stall", b.bd_shadow_stall);
+    ("store_buffer_stall", b.bd_sb_stall);
+    ("recovery", b.bd_recovery);
+    ("region_transition", b.bd_transition);
+  ]
+
+let breakdown_total b =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (breakdown_fields b)
+
+let pp_breakdown ppf b =
+  let total = breakdown_total b in
+  let pct v =
+    if total = 0 then 0. else 100. *. float_of_int v /. float_of_int total
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) ->
+      Format.fprintf ppf "%-22s %10d  %5.1f%%@," name v (pct v))
+    (breakdown_fields b);
+  Format.fprintf ppf "%-22s %10d@]" "total" total
+
 type result = {
   outcome : Interp.outcome;
   output : int list;
@@ -23,7 +57,10 @@ type result = {
   regs : int Reg.Map.t;
   faults_handled : int;
   stats : stats;
+  breakdown : breakdown;
 }
+
+type stall_reason = Shadow_conflict | Store_buffer_full
 
 type event =
   | Reg_commit of Reg.t
@@ -33,6 +70,17 @@ type event =
   | Exception_detected
   | Recovery_done
   | Region_exit of Pcode.exit_target
+  | Bundle_issue of {
+      region : Label.t;
+      pc : int;
+      ops : int;
+      squashed : int;
+      spec : int;
+    }
+  | Op_issue of { op : Instr.op; pred : Pred.t; spec : bool; latency : int }
+  | Stall of stall_reason
+  | Cond_set of Cond.t * bool
+  | Sb_occupancy of int
 
 let pp_event ppf = function
   | Reg_commit r -> Format.fprintf ppf "commit %a" Reg.pp r
@@ -43,6 +91,18 @@ let pp_event ppf = function
   | Recovery_done -> Format.pp_print_string ppf "recovery done"
   | Region_exit (Pcode.To_region l) -> Format.fprintf ppf "exit -> %a" Label.pp l
   | Region_exit Pcode.Stop -> Format.pp_print_string ppf "exit -> halt"
+  | Bundle_issue { region; pc; ops; squashed; spec } ->
+      Format.fprintf ppf "issue %a[%d]: %d ops (%d spec, %d squashed)"
+        Label.pp region pc ops spec squashed
+  | Op_issue { op; spec; latency; _ } ->
+      Format.fprintf ppf "op%s %a (latency %d)"
+        (if spec then ".s" else "")
+        Instr.pp_op op latency
+  | Stall Shadow_conflict -> Format.pp_print_string ppf "stall: shadow conflict"
+  | Stall Store_buffer_full ->
+      Format.pp_print_string ppf "stall: store buffer full"
+  | Cond_set (c, v) -> Format.fprintf ppf "%a := %b" Cond.pp c v
+  | Sb_occupancy n -> Format.fprintf ppf "sb occupancy %d" n
 
 exception Machine_error of string
 
@@ -74,6 +134,12 @@ type pending = { due : int; order : int; action : wb }
 
 type mode = Normal | Recovery of { future : Ccr.t; epc : int }
 
+(* Category of the cycle currently being simulated; bumped into the
+   accounting counters when the cycle completes (in [run]'s loop), so a
+   cycle aborted mid-way by a fatal fault is charged to no category —
+   exactly matching [st.now], which that cycle never increments. *)
+type cycle_kind = Kuseful | Ksquashed | Kshadow_stall | Ksb_stall | Krecovery
+
 exception Abort of Fault.t
 exception Halted_exn
 exception Fuel_exhausted
@@ -83,6 +149,8 @@ exception Cycle_done
 type state = {
   model : Machine_model.t;
   on_event : (int -> event -> unit) option;
+  sb_hist : Psb_obs.Metrics.histogram option;
+  bundle_hist : Psb_obs.Metrics.histogram option;
   code : Pcode.t;
   mem : Memory.t;
   rf : Regfile.t;
@@ -108,10 +176,34 @@ type state = {
   mutable region_transitions : int;
   mutable sb_stall_cycles : int;
   mutable wb_squashes : int; (* results squashed in flight (pred false at WB) *)
+  (* cycle accounting *)
+  mutable kind : cycle_kind;
+  mutable acct_useful : int;
+  mutable acct_squashed : int;
+  mutable acct_shadow_stall : int;
+  mutable acct_sb_stall : int;
+  mutable acct_recovery : int;
+  mutable acct_transition : int;
+  mutable last_sb_occ : int;
 }
 
 let emit st ev =
   match st.on_event with None -> () | Some f -> f st.now ev
+
+let observing st = st.on_event <> None
+
+(* Emitted only when the occupancy changed, to keep traces small. *)
+let note_sb_occupancy st =
+  (match st.sb_hist with
+  | Some h -> Psb_obs.Metrics.observe h (float_of_int (Store_buffer.length st.sb))
+  | None -> ());
+  if observing st then begin
+    let occ = Store_buffer.length st.sb in
+    if occ <> st.last_sb_occ then begin
+      st.last_sb_occ <- occ;
+      emit st (Sb_occupancy occ)
+    end
+  end
 
 let schedule st ~latency action =
   st.pending <- { due = st.now + latency; order = st.next_order; action } :: st.pending;
@@ -420,6 +512,8 @@ let take_exit st (target : Pcode.exit_target) =
   emit st (Region_exit target);
   st.region_transitions <- st.region_transitions + 1;
   let extra = flush_pending st ~allow_cond:false in
+  st.acct_transition <-
+    st.acct_transition + extra + st.model.Machine_model.transition_penalty;
   st.now <- st.now + extra + st.model.Machine_model.transition_penalty;
   (* A final resolve pass: writebacks applied during the flush may have
      buffered state whose predicate is already decided. *)
@@ -492,9 +586,15 @@ let step st ~fuel =
             let future = Ccr.copy st.ccr in
             List.iter (fun (c, v) -> Ccr.set future c v) writes;
             start_recovery st ~future;
+            st.kind <- Krecovery;
             raise Cycle_done (* re-execution starts next cycle *)
       end
-      else List.iter (fun (c, v) -> Ccr.set st.ccr c v) writes);
+      else
+        List.iter
+          (fun (c, v) ->
+            Ccr.set st.ccr c v;
+            emit st (Cond_set (c, v)))
+          writes);
   (* 3. Commit/squash the buffered speculative state. *)
   List.iter
     (fun (r, a) ->
@@ -505,6 +605,9 @@ let step st ~fuel =
       emit st
         (match act with `Commit -> Store_commit a | `Squash -> Store_squash a))
     (Store_buffer.tick st.sb (Ccr.lookup st.ccr));
+  (* Sample occupancy after commit/squash but before the drain — this is
+     the point where buffered state held across the cycle is visible. *)
+  note_sb_occupancy st;
   (* 4. Store buffer drains to the D-cache. *)
   drain_store_buffer st;
   (* 5. Issue one bundle (unless stalled on a shadow-storage conflict). *)
@@ -524,12 +627,16 @@ let step st ~fuel =
        without stores flow past (otherwise the condition-set instruction
        that resolves the blocking speculative head could never issue) *)
     st.sb_stall_cycles <- st.sb_stall_cycles + 1;
+    st.kind <- Ksb_stall;
+    emit st (Stall Store_buffer_full);
     st.consecutive_stalls <- st.consecutive_stalls + 1;
     if st.consecutive_stalls > 10_000 then
       machine_error "store buffer never drains (speculative head stuck)"
   end
   else if !conflict then begin
     st.conflict_stall_cycles <- st.conflict_stall_cycles + 1;
+    st.kind <- Kshadow_stall;
+    emit st (Stall Shadow_conflict);
     st.consecutive_stalls <- st.consecutive_stalls + 1;
     (* A conflict that never resolves means the scheduler violated the
        shadow-storage WAW commit dependence: the blocking predicate can
@@ -548,23 +655,58 @@ let step st ~fuel =
        write is caught at the transition (flush_pending). *)
     st.dyn_bundles <- st.dyn_bundles + 1;
     let in_recovery = match st.mode with Recovery _ -> true | Normal -> false in
-    (* Operations first... *)
+    (* Operations first. The issue decision per slot is made once, up
+       front, so the Bundle_issue event (and the accounting below) can
+       never disagree with what actually executed. *)
+    let decisions =
+      List.map
+        (fun slot ->
+          match slot with
+          | Pcode.Exit _ -> (slot, `Exit)
+          | Pcode.Op pi -> (
+              ( slot,
+                match Ccr.eval st.ccr pi.pred with
+                | Pred.False -> `Squash
+                | Pred.True -> if in_recovery then `Squash else `Nonspec
+                | Pred.Unspec -> `Spec )))
+        bundle
+    in
+    let count k =
+      List.fold_left (fun n (_, d) -> if d = k then n + 1 else n) 0 decisions
+    in
+    let executed = count `Nonspec + count `Spec in
+    if observing st then
+      emit st
+        (Bundle_issue
+           {
+             region = st.region.Pcode.name;
+             pc = st.pc;
+             ops = executed;
+             squashed = count `Squash;
+             spec = count `Spec;
+           });
+    (match st.bundle_hist with
+    | Some h -> Psb_obs.Metrics.observe h (float_of_int executed)
+    | None -> ());
     List.iter
-      (function
-        | Pcode.Exit _ -> ()
-        | Pcode.Op pi -> (
-            match Ccr.eval st.ccr pi.pred with
-            | Pred.False -> st.squashed_ops <- st.squashed_ops + 1
-            | Pred.True ->
-                if in_recovery then st.squashed_ops <- st.squashed_ops + 1
-                else begin
-                  st.dyn_ops <- st.dyn_ops + 1;
-                  issue_nonspec st pi
-                end
-            | Pred.Unspec ->
-                st.dyn_ops <- st.dyn_ops + 1;
-                issue_spec st pi))
-      bundle;
+      (fun (slot, decision) ->
+        match (slot, decision) with
+        | Pcode.Exit _, _ | _, `Exit -> ()
+        | Pcode.Op _, `Squash -> st.squashed_ops <- st.squashed_ops + 1
+        | Pcode.Op pi, (`Nonspec | `Spec) ->
+            st.dyn_ops <- st.dyn_ops + 1;
+            let spec = decision = `Spec in
+            if observing st then
+              emit st
+                (Op_issue
+                   {
+                     op = pi.Pcode.op;
+                     pred = pi.Pcode.pred;
+                     spec;
+                     latency = Machine_model.latency st.model pi.Pcode.op;
+                   });
+            if spec then issue_spec st pi else issue_nonspec st pi)
+      decisions;
     (* ... then exits: the first whose predicate is true fires. *)
     let exit_target =
       List.find_map
@@ -579,6 +721,10 @@ let step st ~fuel =
               | Pred.False | Pred.Unspec -> None))
         bundle
     in
+    st.kind <-
+      (if in_recovery then Krecovery
+       else if executed > 0 || exit_target <> None then Kuseful
+       else Ksquashed);
     st.pc <- st.pc + 1;
     match exit_target with
     | Some target -> take_exit st target
@@ -588,7 +734,7 @@ let step st ~fuel =
 let default_fuel = 60_000_000
 
 let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
-    ~model ~regs ~mem (code : Pcode.t) =
+    ?metrics ~model ~regs ~mem (code : Pcode.t) =
   let nregs =
     let m =
       List.fold_left
@@ -607,10 +753,26 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
     in
     List.fold_left (fun acc (r, _) -> max acc (Reg.index r + 1)) m regs
   in
+  let sb_hist =
+    Option.map
+      (fun m ->
+        Psb_obs.Metrics.histogram m "vliw_sb_occupancy"
+          ~buckets:[ 0.; 1.; 2.; 4.; 8.; 16.; 32. ])
+      metrics
+  in
+  let bundle_hist =
+    Option.map
+      (fun m ->
+        Psb_obs.Metrics.histogram m "vliw_bundle_ops"
+          ~buckets:[ 0.; 1.; 2.; 3.; 4.; 6.; 8.; 16. ])
+      metrics
+  in
   let st =
     {
       model;
       on_event;
+      sb_hist;
+      bundle_hist;
       code;
       mem;
       rf = Regfile.create ~mode:regfile_mode ~nregs ();
@@ -635,10 +797,43 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
       region_transitions = 0;
       sb_stall_cycles = 0;
       wb_squashes = 0;
+      kind = Kuseful;
+      acct_useful = 0;
+      acct_squashed = 0;
+      acct_shadow_stall = 0;
+      acct_sb_stall = 0;
+      acct_recovery = 0;
+      acct_transition = 0;
+      last_sb_occ = 0;
     }
   in
   List.iter (fun (r, v) -> Regfile.write_seq st.rf r v) regs;
   let finish outcome =
+    let breakdown =
+      {
+        bd_useful = st.acct_useful;
+        bd_squashed = st.acct_squashed;
+        bd_shadow_stall = st.acct_shadow_stall;
+        bd_sb_stall = st.acct_sb_stall;
+        bd_recovery = st.acct_recovery;
+        bd_transition = st.acct_transition;
+      }
+    in
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        let open Psb_obs.Metrics in
+        let c name v = inc (counter m name) ~by:v in
+        c "vliw_cycles_total" st.now;
+        c "vliw_dyn_bundles" st.dyn_bundles;
+        c "vliw_dyn_ops" st.dyn_ops;
+        c "vliw_spec_ops" st.spec_ops;
+        c "vliw_recoveries" st.recoveries;
+        c "vliw_shadow_conflicts" (Regfile.conflicts st.rf);
+        List.iter
+          (fun (cat, v) ->
+            inc (counter m "vliw_cycles" ~labels:[ ("category", cat) ]) ~by:v)
+          (breakdown_fields breakdown));
     {
       outcome;
       output = List.rev st.output_rev;
@@ -663,15 +858,26 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
           sb_stall_cycles = st.sb_stall_cycles;
           region_transitions = st.region_transitions;
         };
+      breakdown;
     }
+  in
+  let bump_kind () =
+    match st.kind with
+    | Kuseful -> st.acct_useful <- st.acct_useful + 1
+    | Ksquashed -> st.acct_squashed <- st.acct_squashed + 1
+    | Kshadow_stall -> st.acct_shadow_stall <- st.acct_shadow_stall + 1
+    | Ksb_stall -> st.acct_sb_stall <- st.acct_sb_stall + 1
+    | Krecovery -> st.acct_recovery <- st.acct_recovery + 1
   in
   let rec loop () =
     (try step st ~fuel with Cycle_done -> ());
+    bump_kind ();
     st.now <- st.now + 1;
     loop ()
   in
   try loop () with
   | Halted_exn ->
+      bump_kind ();
       st.now <- st.now + 1;
       finish Interp.Halted
   | Abort f ->

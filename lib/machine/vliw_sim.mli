@@ -40,6 +40,38 @@ type stats = {
   region_transitions : int;
 }
 
+(** {2 Cycle accounting}
+
+    Every simulated cycle is attributed to exactly one category, so the
+    breakdown answers "where did the cycles go" and always sums to
+    {!result.cycles} (a property the test suite enforces for every
+    workload × model pair). A cycle that both stalls and sits in recovery
+    mode is charged to the stall — the priority is the order of the
+    record fields below. *)
+
+type breakdown = {
+  bd_useful : int;
+      (** normal-mode issue cycles in which at least one operation
+          executed or an exit fired *)
+  bd_squashed : int;
+      (** normal-mode issue cycles whose every operation slot had a false
+          predicate — fetched but fully wasted work *)
+  bd_shadow_stall : int;  (** issue held by a shadow-storage conflict *)
+  bd_sb_stall : int;  (** issue held by a full store buffer *)
+  bd_recovery : int;
+      (** recovery-mode re-execution (including the detection cycle) *)
+  bd_transition : int;
+      (** region-transition cost: the interlock that drains in-flight
+          writebacks plus the configured redirect penalty *)
+}
+
+val breakdown_total : breakdown -> int
+val breakdown_fields : breakdown -> (string * int) list
+(** Category name → cycles, in priority order (for serialisation). *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit
+(** Table with per-category percentages. *)
+
 type result = {
   outcome : Interp.outcome;
   output : int list;
@@ -47,7 +79,10 @@ type result = {
   regs : int Reg.Map.t;
   faults_handled : int;
   stats : stats;
+  breakdown : breakdown;
 }
+
+type stall_reason = Shadow_conflict | Store_buffer_full
 
 type event =
   | Reg_commit of Reg.t
@@ -57,6 +92,22 @@ type event =
   | Exception_detected
   | Recovery_done
   | Region_exit of Pcode.exit_target
+  | Bundle_issue of {
+      region : Label.t;
+      pc : int;  (** bundle index within the region *)
+      ops : int;  (** operation slots that executed (incl. speculative) *)
+      squashed : int;  (** slots whose predicate evaluated false *)
+      spec : int;  (** slots issued speculatively *)
+    }
+  | Op_issue of { op : Instr.op; pred : Pred.t; spec : bool; latency : int }
+      (** One executed operation slot, emitted after its
+          {!Bundle_issue}. [latency] is the writeback distance — the
+          trace sink renders the span. *)
+  | Stall of stall_reason
+  | Cond_set of Cond.t * bool  (** CCR update applied (no detection) *)
+  | Sb_occupancy of int
+      (** store-buffer occupancy after this cycle's commit/squash
+          resolution (before the drain), emitted only when it changed *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -70,12 +121,20 @@ val run :
   ?fuel:int ->
   ?regfile_mode:Regfile.mode ->
   ?on_event:(int -> event -> unit) ->
+  ?metrics:Psb_obs.Metrics.t ->
   model:Machine_model.t ->
   regs:(Reg.t * int) list ->
   mem:Memory.t ->
   Pcode.t ->
   result
 (** [fuel] bounds the cycle count (default 60M). [mem] is mutated.
-    [on_event] receives commit/squash/detection/recovery/exit events with
-    the cycle they occur in — the machine's observable timeline (compare
-    Table 1). *)
+    [on_event] receives commit/squash/detection/recovery/exit/issue
+    events with the cycle they occur in — the machine's observable
+    timeline (compare Table 1). When neither [on_event] nor [metrics] is
+    given the instrumentation costs nothing.
+
+    [metrics] collects, under the [vliw_] prefix: a store-buffer
+    occupancy histogram sampled every cycle ([vliw_sb_occupancy]), an
+    executed-ops-per-bundle histogram ([vliw_bundle_ops]), and final
+    counters for cycles, operations and the cycle-accounting categories
+    ([vliw_cycles{category=...}]). *)

@@ -1,0 +1,159 @@
+open Psb_isa
+module Trace_event = Psb_obs.Trace_event
+module Json = Psb_obs.Json
+
+type t = {
+  sink : Trace_event.t;
+  model : Machine_model.t;
+  limit : int;
+  mutable truncated : bool;
+  (* functional-unit lane assignment: ops within one cycle fill lanes of
+     their unit class in issue order *)
+  mutable lane_cycle : int;
+  lanes : int array;  (* per unit class, next free lane this cycle *)
+  mutable recovery_start : int option;
+}
+
+let class_index = function
+  | Machine_model.Alu_unit -> 0
+  | Machine_model.Branch_unit -> 1
+  | Machine_model.Load_unit -> 2
+  | Machine_model.Store_unit -> 3
+
+let class_prefix = function
+  | Machine_model.Alu_unit -> "alu"
+  | Machine_model.Branch_unit -> "br"
+  | Machine_model.Load_unit -> "ld"
+  | Machine_model.Store_unit -> "st"
+
+let create ?(limit = 2_000_000) ~model () =
+  {
+    sink = Trace_event.create ~process_name:"psb-vliw" ();
+    model;
+    limit;
+    truncated = false;
+    lane_cycle = -1;
+    lanes = Array.make 4 0;
+    recovery_start = None;
+  }
+
+let issue_track t = Trace_event.track t.sink ~sort_index:1 "issue"
+
+let fu_track t cls lane =
+  let sort = 10 + (10 * class_index cls) + lane in
+  Trace_event.track t.sink ~sort_index:sort
+    (Printf.sprintf "%s%d" (class_prefix cls) lane)
+
+let recovery_track t = Trace_event.track t.sink ~sort_index:50 "recovery"
+let ccr_track t = Trace_event.track t.sink ~sort_index:60 "ccr"
+let shadow_track t = Trace_event.track t.sink ~sort_index:70 "shadow-regfile"
+let sb_track t = Trace_event.track t.sink ~sort_index:80 "store-buffer"
+
+let truncated t = t.truncated
+
+let on_event t cycle (ev : Vliw_sim.event) =
+  if Trace_event.num_events t.sink >= t.limit then t.truncated <- true
+  else
+    match ev with
+    | Vliw_sim.Bundle_issue { region; pc; ops; squashed; spec } ->
+        Trace_event.span t.sink (issue_track t)
+          ~name:(Printf.sprintf "%s[%d]" (Label.name region) pc)
+          ~ts:cycle ~dur:1
+          ~args:
+            [
+              ("region", Json.String (Label.name region));
+              ("pc", Json.Int pc);
+              ("ops", Json.Int ops);
+              ("squashed", Json.Int squashed);
+              ("spec", Json.Int spec);
+            ]
+          ()
+    | Vliw_sim.Op_issue { op; pred; spec; latency } ->
+        if cycle <> t.lane_cycle then begin
+          t.lane_cycle <- cycle;
+          Array.fill t.lanes 0 (Array.length t.lanes) 0
+        end;
+        let cls = Machine_model.unit_of_op op in
+        let lane = t.lanes.(class_index cls) in
+        t.lanes.(class_index cls) <- lane + 1;
+        let name =
+          Format.asprintf "%a%s" Instr.pp_op op (if spec then " .s" else "")
+        in
+        Trace_event.span t.sink (fu_track t cls lane) ~name ~ts:cycle
+          ~dur:latency
+          ~args:
+            [
+              ("pred", Json.String (Format.asprintf "%a" Pred.pp pred));
+              ("spec", Json.Bool spec);
+            ]
+          ()
+    | Vliw_sim.Stall reason ->
+        Trace_event.instant t.sink (issue_track t)
+          ~name:
+            (match reason with
+            | Vliw_sim.Shadow_conflict -> "stall: shadow conflict"
+            | Vliw_sim.Store_buffer_full -> "stall: store buffer full")
+          ~ts:cycle ()
+    | Vliw_sim.Region_exit target ->
+        Trace_event.instant t.sink (issue_track t)
+          ~name:
+            (match target with
+            | Pcode.To_region l -> "exit -> " ^ Label.name l
+            | Pcode.Stop -> "exit -> halt")
+          ~ts:cycle ()
+    | Vliw_sim.Exception_detected ->
+        t.recovery_start <- Some cycle;
+        Trace_event.instant t.sink (recovery_track t) ~name:"exception detected"
+          ~ts:cycle ()
+    | Vliw_sim.Recovery_done ->
+        let start = Option.value t.recovery_start ~default:cycle in
+        t.recovery_start <- None;
+        Trace_event.span t.sink (recovery_track t) ~name:"recovery" ~ts:start
+          ~dur:(cycle - start) ()
+    | Vliw_sim.Cond_set (c, v) ->
+        Trace_event.instant t.sink (ccr_track t)
+          ~name:(Format.asprintf "%a := %b" Cond.pp c v)
+          ~ts:cycle ()
+    | Vliw_sim.Reg_commit r ->
+        Trace_event.instant t.sink (shadow_track t)
+          ~name:(Format.asprintf "commit %a" Reg.pp r)
+          ~ts:cycle ()
+    | Vliw_sim.Reg_squash r ->
+        Trace_event.instant t.sink (shadow_track t)
+          ~name:(Format.asprintf "squash %a" Reg.pp r)
+          ~ts:cycle ()
+    | Vliw_sim.Store_commit a ->
+        Trace_event.instant t.sink (sb_track t)
+          ~name:(Printf.sprintf "commit sb@%d" a)
+          ~ts:cycle ()
+    | Vliw_sim.Store_squash a ->
+        Trace_event.instant t.sink (sb_track t)
+          ~name:(Printf.sprintf "squash sb@%d" a)
+          ~ts:cycle ()
+    | Vliw_sim.Sb_occupancy n ->
+        ignore (sb_track t);
+        Trace_event.counter t.sink ~name:"sb-occupancy" ~ts:cycle ~value:n
+
+let to_json ?result t =
+  let metadata =
+    [
+      ("issue_width", Json.Int t.model.Machine_model.issue_width);
+      ("truncated", Json.Bool t.truncated);
+    ]
+    @
+    match result with
+    | None -> []
+    | Some (r : Vliw_sim.result) ->
+        [
+          ( "outcome",
+            Json.String (Format.asprintf "%a" Interp.pp_outcome r.Vliw_sim.outcome)
+          );
+          ("cycles", Json.Int r.Vliw_sim.cycles);
+          ( "cycle_breakdown",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Int v))
+                 (Vliw_sim.breakdown_fields r.Vliw_sim.breakdown)) );
+        ]
+  in
+  Trace_event.to_json t.sink ~metadata ()

@@ -1,0 +1,35 @@
+(** Structured trace sink for the VLIW machine: maps {!Vliw_sim.event}s
+    onto Chrome trace-event tracks ({!Psb_obs.Trace_event}), one per
+    functional unit plus the CCR, the shadow register file and the store
+    buffer. Open the emitted JSON in Perfetto ([ui.perfetto.dev]) or
+    [chrome://tracing]; one simulated cycle renders as 1 µs.
+
+    Tracks:
+    - [issue] — one span per issued bundle (args: region, pc, executed /
+      squashed / speculative slot counts), instant markers for region
+      exits and stalls;
+    - [alu0..], [br], [ld0..], [st0..] — one lane per functional unit;
+      each executed operation is a span lasting its latency, suffixed
+      [.s] when issued speculatively;
+    - [recovery] — one span per exception-recovery episode (detection →
+      recovery done);
+    - [ccr] — condition writes as instant markers;
+    - [shadow-regfile] — speculative commits and squashes;
+    - [store-buffer] — store commits/squashes, plus an occupancy counter
+      series rendered as an area chart. *)
+
+type t
+
+val create : ?limit:int -> model:Machine_model.t -> unit -> t
+(** [limit] caps the number of recorded trace events (default 2_000_000)
+    so tracing a pathological run cannot exhaust memory; past the cap,
+    events are dropped and {!truncated} reports it. *)
+
+val on_event : t -> int -> Vliw_sim.event -> unit
+(** Pass as [Vliw_sim.run ~on_event:(Vliw_trace.on_event sink)]. *)
+
+val truncated : t -> bool
+
+val to_json : ?result:Vliw_sim.result -> t -> Psb_obs.Json.t
+(** The trace document. When [result] is given, outcome, cycle count and
+    the cycle-accounting breakdown are attached as trace metadata. *)

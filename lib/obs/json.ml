@@ -1,0 +1,314 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let obj fields = Obj (List.filter (fun (_, v) -> v <> Null) fields)
+
+(* ----- printing ----- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_literal f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    "null" (* JSON has no NaN/inf; observability data degrades to null *)
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_literal f)
+  | String s -> escape_string b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let rec pp ppf = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v ->
+      let b = Buffer.create 32 in
+      write b v;
+      Format.pp_print_string ppf (Buffer.contents b)
+  | List [] -> Format.pp_print_string ppf "[]"
+  | List xs ->
+      Format.fprintf ppf "@[<v 1>[%a]@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           pp)
+        xs
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj fields ->
+      let field ppf (k, v) =
+        let b = Buffer.create 16 in
+        escape_string b k;
+        Format.fprintf ppf "@[<hov 1>%s:@ %a@]" (Buffer.contents b) pp v
+      in
+      Format.fprintf ppf "@[<v 1>{%a}@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           field)
+        fields
+
+let to_string ?(minify = false) v =
+  if minify then begin
+    let b = Buffer.create 256 in
+    write b v;
+    Buffer.contents b
+  end
+  else Format.asprintf "%a" pp v
+
+(* ----- parsing ----- *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char b e;
+              go ()
+          | 'n' ->
+              Buffer.add_char b '\n';
+              go ()
+          | 't' ->
+              Buffer.add_char b '\t';
+              go ()
+          | 'r' ->
+              Buffer.add_char b '\r';
+              go ()
+          | 'b' ->
+              Buffer.add_char b '\b';
+              go ()
+          | 'f' ->
+              Buffer.add_char b '\012';
+              go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code =
+                try int_of_string ("0x" ^ String.sub s !pos 4)
+                with Failure _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* encode the code point as UTF-8 (surrogates passed raw) *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                Buffer.add_char b
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+              end;
+              go ()
+          | _ -> fail "bad escape")
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elems [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+(* ----- accessors ----- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_list = function List xs -> xs | _ -> []
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | String a, String b -> a = b
+  | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+  | Obj a, Obj b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> ka = kb && equal va vb)
+           (List.sort (fun (k, _) (k', _) -> compare k k') a)
+           (List.sort (fun (k, _) (k', _) -> compare k k') b)
+  | _ -> false

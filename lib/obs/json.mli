@@ -1,0 +1,49 @@
+(** Minimal JSON values: the machine-readable wire format of the
+    observability stack (traces, metrics, experiment reports).
+
+    Self-contained on purpose — the toolchain has no JSON library baked
+    in, and the formats we emit (Chrome trace events, metrics dumps) are
+    simple enough that a small total printer plus a strict parser keeps
+    the schema honest: the golden tests round-trip every emitted document
+    through {!parse} so the format cannot drift silently. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val obj : (string * t) list -> t
+(** {!Obj} with [Null] members dropped — keeps emitted documents tidy. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printed (indented) form, suitable for humans and Perfetto. *)
+
+val to_string : ?minify:bool -> t -> string
+(** [minify] (default false) emits the compact single-line form. *)
+
+val parse : string -> (t, string) result
+(** Strict RFC-8259-style parser (UTF-8 passed through verbatim; [\uXXXX]
+    escapes decoded; numbers without [.], [e] or [E] parse as {!Int}).
+    Errors carry a byte offset. *)
+
+(* ----- accessors (for tests and report post-processing) ----- *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj}; [None] for missing fields or non-objects. *)
+
+val to_list : t -> t list
+(** Elements of a {!List}; [[]] otherwise. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** {!Int} widens to float. *)
+
+val to_str : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality with order-insensitive objects (duplicate keys
+    compare positionally). *)

@@ -1,0 +1,155 @@
+type labels = (string * string) list
+
+let norm_labels labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+type counter = { c_name : string; c_labels : labels; mutable value : int }
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  bounds : float array;  (* upper bounds, sorted; +inf implicit *)
+  bucket_counts : int array;  (* same length as bounds + 1 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type t = {
+  counters : (string * labels, counter) Hashtbl.t;
+  histograms : (string * labels, histogram) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let counter t ?(labels = []) name =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt t.counters (name, labels) with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_labels = labels; value = 0 } in
+      Hashtbl.replace t.counters (name, labels) c;
+      c
+
+let inc ?(by = 1) c = c.value <- c.value + by
+let counter_value c = c.value
+
+let default_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ]
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt t.histograms (name, labels) with
+  | Some h -> h
+  | None ->
+      let bounds = Array.of_list (List.sort_uniq compare buckets) in
+      let h =
+        {
+          h_name = name;
+          h_labels = labels;
+          bounds;
+          bucket_counts = Array.make (Array.length bounds + 1) 0;
+          count = 0;
+          sum = 0.;
+          min = Float.infinity;
+          max = Float.neg_infinity;
+        }
+      in
+      Hashtbl.replace t.histograms (name, labels) h;
+      h
+
+let observe h v =
+  let rec slot i =
+    if i >= Array.length h.bounds || v <= h.bounds.(i) then i else slot (i + 1)
+  in
+  let i = slot 0 in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min then h.min <- v;
+  if v > h.max then h.max <- v
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+let histogram_mean h =
+  if h.count = 0 then 0. else h.sum /. float_of_int h.count
+
+let time t ?labels name f =
+  let h = histogram t ?labels ~buckets:[ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ] name in
+  let t0 = Unix.gettimeofday () in
+  let finally () = observe h (Unix.gettimeofday () -. t0) in
+  Fun.protect ~finally f
+
+let is_empty t =
+  Hashtbl.length t.counters = 0 && Hashtbl.length t.histograms = 0
+
+let sorted_entries tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (k, _) (k', _) -> compare k k')
+  |> List.map snd
+
+let labels_json labels =
+  match labels with
+  | [] -> Json.Null
+  | l -> Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) l)
+
+let to_json t =
+  let counters =
+    sorted_entries t.counters
+    |> List.map (fun c ->
+           Json.obj
+             [
+               ("name", Json.String c.c_name);
+               ("labels", labels_json c.c_labels);
+               ("value", Json.Int c.value);
+             ])
+  in
+  let histograms =
+    sorted_entries t.histograms
+    |> List.map (fun h ->
+           let buckets =
+             List.init
+               (Array.length h.bucket_counts)
+               (fun i ->
+                 let le =
+                   if i < Array.length h.bounds then Json.Float h.bounds.(i)
+                   else Json.String "+inf"
+                 in
+                 Json.Obj [ ("le", le); ("count", Json.Int h.bucket_counts.(i)) ])
+           in
+           Json.obj
+             [
+               ("name", Json.String h.h_name);
+               ("labels", labels_json h.h_labels);
+               ("count", Json.Int h.count);
+               ("sum", Json.Float h.sum);
+               ("min", if h.count = 0 then Json.Null else Json.Float h.min);
+               ("max", if h.count = 0 then Json.Null else Json.Float h.max);
+               ("buckets", Json.List buckets);
+             ])
+  in
+  Json.Obj [ ("counters", Json.List counters); ("histograms", Json.List histograms) ]
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%s%a %d@," c.c_name pp_labels c.c_labels c.value)
+    (sorted_entries t.counters);
+  List.iter
+    (fun h ->
+      if h.count = 0 then
+        Format.fprintf ppf "%s%a (empty)@," h.h_name pp_labels h.h_labels
+      else
+        Format.fprintf ppf "%s%a count=%d sum=%g mean=%g min=%g max=%g@,"
+          h.h_name pp_labels h.h_labels h.count h.sum (histogram_mean h) h.min
+          h.max)
+    (sorted_entries t.histograms);
+  Format.pp_close_box ppf ()

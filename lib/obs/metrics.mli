@@ -1,0 +1,59 @@
+(** Metrics registry: labelled counters and histograms, shared by the
+    scalar simulator, the VLIW machine and the compiler driver so that
+    pass timings, schedule densities and store-buffer occupancies are
+    collected through one API and serialised in one schema.
+
+    A metric is identified by its name plus a (sorted) label set —
+    [("workload", "li"); ("model", "region-pred")] — so the same code
+    path instruments every configuration without string mangling. The
+    registry is a plain value, not global state: callers create one per
+    collection scope (a [psb profile] invocation, a bench run) and pass
+    it down; every instrumented entry point takes [?metrics] and does
+    nothing when it is absent, so the hot paths pay nothing by default. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+type labels = (string * string) list
+
+type counter
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Find-or-create. Counters with the same name and labels are the same
+    counter. *)
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type histogram
+
+val histogram : t -> ?labels:labels -> ?buckets:float list -> string -> histogram
+(** Find-or-create. [buckets] are upper bounds of cumulative buckets (a
+    [+inf] bucket is implicit); they are fixed by the first creation.
+    Default buckets suit small non-negative integer distributions
+    (occupancies, densities): 1 2 4 8 16 32 64. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_mean : histogram -> float
+(** 0 when empty. *)
+
+val time : t -> ?labels:labels -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration, in seconds, in
+    histogram [name]. The conventional name suffix is [_seconds]. *)
+
+val to_json : t -> Json.t
+(** Schema:
+    [{"counters": [{"name", "labels": {..}, "value"}...],
+      "histograms": [{"name", "labels": {..}, "count", "sum", "min",
+                      "max", "buckets": [{"le", "count"}...]}...]}]
+    Entries are sorted by name then labels, so output is deterministic. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump (one metric per line). *)
+
+val is_empty : t -> bool

@@ -1,0 +1,86 @@
+type track = int
+
+type t = {
+  process_name : string;
+  mutable tracks : (string * (track * int)) list;  (* name -> tid, sort *)
+  mutable next_tid : int;
+  mutable events_rev : Json.t list;
+  mutable num_events : int;
+}
+
+let pid = 1
+
+let create ?(process_name = "psb") () =
+  { process_name; tracks = []; next_tid = 1; events_rev = []; num_events = 0 }
+
+let track t ?sort_index name =
+  match List.assoc_opt name t.tracks with
+  | Some (tid, _) -> tid
+  | None ->
+      let tid = t.next_tid in
+      t.next_tid <- tid + 1;
+      let sort = Option.value sort_index ~default:tid in
+      t.tracks <- (name, (tid, sort)) :: t.tracks;
+      tid
+
+let push t ev =
+  t.events_rev <- ev :: t.events_rev;
+  t.num_events <- t.num_events + 1
+
+let base ~name ~ph ~ts ~tid rest =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String ph);
+       ("ts", Json.Int ts);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ rest)
+
+let args_field = function
+  | None | Some [] -> []
+  | Some args -> [ ("args", Json.Obj args) ]
+
+let span t tid ~name ~ts ~dur ?args () =
+  push t (base ~name ~ph:"X" ~ts ~tid (("dur", Json.Int (max 1 dur)) :: args_field args))
+
+let instant t tid ~name ~ts ?args () =
+  push t (base ~name ~ph:"i" ~ts ~tid (("s", Json.String "t") :: args_field args))
+
+let counter t ~name ~ts ~value =
+  push t
+    (base ~name ~ph:"C" ~ts ~tid:0
+       [ ("args", Json.Obj [ ("value", Json.Int value) ]) ])
+
+let num_events t = t.num_events
+
+let to_json t ?(metadata = []) () =
+  let meta name tid args =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj args);
+      ]
+  in
+  let process_meta =
+    [ meta "process_name" 0 [ ("name", Json.String t.process_name) ] ]
+  in
+  let track_meta =
+    List.rev t.tracks
+    |> List.concat_map (fun (name, (tid, sort)) ->
+           [
+             meta "thread_name" tid [ ("name", Json.String name) ];
+             meta "thread_sort_index" tid [ ("sort_index", Json.Int sort) ];
+           ])
+  in
+  Json.obj
+    [
+      ( "traceEvents",
+        Json.List (process_meta @ track_meta @ List.rev t.events_rev) );
+      ("displayTimeUnit", Json.String "ms");
+      ("metadata", if metadata = [] then Json.Null else Json.Obj metadata);
+    ]

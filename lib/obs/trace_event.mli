@@ -1,0 +1,46 @@
+(** Structured trace sink: the Chrome trace-event JSON format, loadable
+    in Perfetto ([ui.perfetto.dev]) or [chrome://tracing].
+
+    The builder is deliberately generic — tracks are named lanes, spans
+    have a start and a duration, instants are point markers, counters are
+    sampled series. The machine-specific adapter ({!Psb_machine.Vliw_trace})
+    maps simulator events onto tracks; this module only owns the format.
+
+    Timestamps are in simulated cycles; one cycle is rendered as one
+    microsecond (the trace-event [ts] unit), which keeps Perfetto's
+    zoom levels sensible for million-cycle runs. *)
+
+type t
+
+val create : ?process_name:string -> unit -> t
+(** [process_name] defaults to ["psb"]. *)
+
+type track
+
+val track : t -> ?sort_index:int -> string -> track
+(** Find-or-create a named track (a "thread" in trace-event terms).
+    [sort_index] orders tracks in the viewer; defaults to creation
+    order. *)
+
+val span :
+  t -> track -> name:string -> ts:int -> dur:int ->
+  ?args:(string * Json.t) list -> unit -> unit
+(** A complete event (phase ["X"]): [dur] cycles starting at [ts].
+    Zero-duration spans are widened to 1 so they stay visible. *)
+
+val instant :
+  t -> track -> name:string -> ts:int -> ?args:(string * Json.t) list ->
+  unit -> unit
+(** A point marker (phase ["i"], thread scope). *)
+
+val counter : t -> name:string -> ts:int -> value:int -> unit
+(** A sampled counter series (phase ["C"]): one numeric series per
+    [name], rendered as an area chart. *)
+
+val num_events : t -> int
+(** Number of events recorded so far (excluding track metadata). *)
+
+val to_json : t -> ?metadata:(string * Json.t) list -> unit -> Json.t
+(** The document: [{"traceEvents": [...], "displayTimeUnit": "ms",
+    "metadata": {...}}]. Events appear in emission order, preceded by the
+    process/thread-name metadata records. *)

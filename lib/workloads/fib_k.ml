@@ -1,0 +1,44 @@
+open Psb_isa
+open Dsl
+
+(* Register plan: r1 = i, r2 = a (fib i), r3 = b (fib i+1), r4 = N,
+   r5 = odd-sum accumulator, r6 = scratch compare, r7 = t, r8 = parity,
+   r20 = output table base. *)
+
+let n = 600
+let table_base = 0
+
+let program =
+  Program.make ~entry:(lbl "entry")
+    [
+      block "entry"
+        [ mov 1 (i 0); mov 2 (i 0); mov 3 (i 1); mov 5 (i 0) ]
+        (jmp "loop");
+      block "loop" [ cmp 6 Opcode.Lt (r 1) (r 4) ] (br 6 "step" "done");
+      block "step"
+        [
+          add 7 (r 2) (r 3);
+          (* keep values bounded so the sum stays in small-int range *)
+          band 7 (r 7) (i 0xffff);
+          mov 2 (r 3);
+          mov 3 (r 7);
+          add 9 (r 20) (r 1);
+          store 2 9 0;
+          band 8 (r 2) (i 1);
+        ]
+        (br 8 "odd" "next");
+      block "odd" [ add 5 (r 5) (r 2) ] (jmp "next");
+      block "next" [ add 1 (r 1) (i 1) ] (jmp "loop");
+      block "done" [ out (r 2); out (r 5) ] halt;
+    ]
+
+let make_mem () = Memory.create ~size:2048
+
+let workload =
+  {
+    name = "fib";
+    description = "bounded Fibonacci with an odd-term filter (small demo)";
+    program;
+    regs = [ (reg 4, n); (reg 20, table_base) ];
+    make_mem;
+  }

@@ -1,0 +1,7 @@
+(** Bounded Fibonacci with an odd-term filter: a small, fast demo
+    workload for the observability tooling ([psb trace fib],
+    [psb profile fib]). Registered as a {!Suite.extras} entry — not part
+    of the paper's six-benchmark suite, so the tables and figures are
+    unaffected. *)
+
+val workload : Dsl.t

@@ -1,10 +1,15 @@
 (** The benchmark suite: the six kernels standing in for the paper's
-    programs (Table 2). *)
+    programs (Table 2), plus extra named workloads for tooling demos. *)
 
 val all : Dsl.t list
 (** In the paper's order: compress, eqntott, espresso, grep, li, nroff. *)
 
+val extras : Dsl.t list
+(** Workloads findable by {!find} but outside the evaluation suite (e.g.
+    [fib]) — the tables and figures only ever use {!all}. *)
+
 val find : string -> Dsl.t
-(** @raise Not_found for unknown names. *)
+(** Searches {!all} then {!extras}. @raise Not_found for unknown names. *)
 
 val names : string list
+(** Names of {!all} (the evaluation suite only). *)

@@ -1,0 +1,446 @@
+(* Tests of the observability layer: JSON printer/parser round-trips,
+   the metrics registry, the Chrome trace-event sink (golden schema
+   test), the cycle-accounting breakdown, and ordering invariants of the
+   machine's event stream. *)
+
+open Psb_isa
+open Psb_compiler
+open Psb_workloads
+module Json = Psb_obs.Json
+module Metrics = Psb_obs.Metrics
+module Vliw_sim = Psb_machine.Vliw_sim
+module Vliw_trace = Psb_machine.Vliw_trace
+module Machine_model = Psb_machine.Machine_model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let executable_models =
+  List.filter (fun (m : Model.t) -> m.Model.executable) Model.all
+
+let workloads = Suite.all @ Suite.extras
+
+(* Compile [w] under [model] and run it with the given instrumentation. *)
+let run_workload ?on_event ?metrics (w : Dsl.t) (model : Model.t) =
+  let _, profile =
+    Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+  in
+  let compiled =
+    Driver.compile ~model ~machine:Machine_model.base ~profile w.Dsl.program
+  in
+  Driver.run_vliw ?on_event ?metrics compiled ~regs:w.Dsl.regs
+    ~mem:(w.Dsl.make_mem ())
+
+(* ---------- JSON ---------- *)
+
+let sample =
+  Json.Obj
+    [
+      ("int", Json.Int 42);
+      ("neg", Json.Int (-7));
+      ("float", Json.Float 1.5);
+      ("string", Json.String "quote \" slash \\ newline \n tab \t");
+      ("true", Json.Bool true);
+      ("null", Json.Null);
+      ( "list",
+        Json.List [ Json.Int 1; Json.String "two"; Json.List []; Json.Obj [] ]
+      );
+      ("nested", Json.Obj [ ("k", Json.Float 0.125) ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun minify ->
+      let s = Json.to_string ~minify sample in
+      match Json.parse s with
+      | Ok v -> check_bool "round-trip" true (Json.equal v sample)
+      | Error e -> Alcotest.failf "parse (minify=%b): %s" minify e)
+    [ true; false ]
+
+let test_json_parse_basics () =
+  let ok s v =
+    match Json.parse s with
+    | Ok v' -> check_bool s true (Json.equal v v')
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "[1,2.0,-3]" (Json.List [ Json.Int 1; Json.Float 2.0; Json.Int (-3) ]);
+  ok "{\"a\":[],\"b\":{}}" (Json.Obj [ ("a", Json.List []); ("b", Json.Obj []) ]);
+  ok "\"\\u0041\\u00e9\"" (Json.String "A\xc3\xa9");
+  ok "  true " (Json.Bool true);
+  ok "1e2" (Json.Float 100.)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "1 2"; "[1] x" ]
+
+let test_json_obj_drops_null () =
+  let v = Json.obj [ ("keep", Json.Int 1); ("drop", Json.Null) ] in
+  check_bool "null dropped" true (Json.equal v (Json.Obj [ ("keep", Json.Int 1) ]))
+
+let test_json_accessors () =
+  check_int "member" 42
+    (Option.get (Option.bind (Json.member "int" sample) Json.to_int));
+  check_bool "missing" true (Json.member "nope" sample = None);
+  check_int "list len" 4 (List.length (Json.to_list (Option.get (Json.member "list" sample))));
+  check_bool "int widens" true (Json.to_float (Json.Int 3) = Some 3.)
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests" ~labels:[ ("kind", "a") ] in
+  Metrics.inc c;
+  Metrics.inc c ~by:4;
+  (* find-or-create: same name+labels is the same counter *)
+  Metrics.inc (Metrics.counter m "requests" ~labels:[ ("kind", "a") ]);
+  check_int "counter" 6 (Metrics.counter_value c);
+  let other = Metrics.counter m "requests" ~labels:[ ("kind", "b") ] in
+  check_int "distinct labels" 0 (Metrics.counter_value other)
+
+let test_metrics_histograms () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "occ" ~buckets:[ 1.; 2.; 4. ] in
+  List.iter (Metrics.observe h) [ 0.; 1.; 3.; 100. ];
+  check_int "count" 4 (Metrics.histogram_count h);
+  check_bool "sum" true (Metrics.histogram_sum h = 104.);
+  check_bool "mean" true (Metrics.histogram_mean h = 26.)
+
+let test_metrics_json_deterministic () =
+  let build () =
+    let m = Metrics.create () in
+    Metrics.inc (Metrics.counter m "b");
+    Metrics.inc (Metrics.counter m "a" ~labels:[ ("x", "1") ]) ~by:2;
+    Metrics.observe (Metrics.histogram m "h") 3.;
+    m
+  in
+  let s1 = Json.to_string (Metrics.to_json (build ())) in
+  let s2 = Json.to_string (Metrics.to_json (build ())) in
+  check_bool "deterministic dump" true (s1 = s2);
+  match Json.parse s1 with
+  | Error e -> Alcotest.failf "metrics json: %s" e
+  | Ok v ->
+      check_int "counters" 2
+        (List.length (Json.to_list (Option.get (Json.member "counters" v))));
+      check_int "histograms" 1
+        (List.length (Json.to_list (Option.get (Json.member "histograms" v))))
+
+(* ---------- golden trace schema ---------- *)
+
+(* Round-trip a real machine trace through the parser and check the
+   Chrome trace-event schema: every event carries name/ph/ts/pid/tid,
+   spans carry dur, and the metadata block records the run. *)
+let test_trace_golden () =
+  let model = Model.region_pred in
+  let w = Suite.find "fib" in
+  let sink = Vliw_trace.create ~model:Machine_model.base () in
+  let res = run_workload ~on_event:(Vliw_trace.on_event sink) w model in
+  let doc = Vliw_trace.to_json ~result:res sink in
+  let s = Json.to_string doc in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok v ->
+      check_bool "round-trip" true (Json.equal v doc);
+      let events = Json.to_list (Option.get (Json.member "traceEvents" v)) in
+      check_bool "has events" true (List.length events > 100);
+      List.iter
+        (fun e ->
+          let field n = Option.get (Json.member n e) in
+          check_bool "name" true (Json.to_str (field "name") <> None);
+          let ph = Option.get (Json.to_str (field "ph")) in
+          check_bool "ph" true (List.mem ph [ "M"; "X"; "i"; "C" ]);
+          check_bool "pid" true (Json.to_int (field "pid") = Some 1);
+          check_bool "tid" true (Json.to_int (field "tid") <> None);
+          if ph <> "M" then
+            check_bool "ts" true (Option.get (Json.to_int (field "ts")) >= 0);
+          if ph = "X" then
+            check_bool "dur" true (Option.get (Json.to_int (field "dur")) >= 1))
+        events;
+      let meta = Option.get (Json.member "metadata" v) in
+      check_int "cycles metadata" res.Vliw_sim.cycles
+        (Option.get (Json.to_int (Option.get (Json.member "cycles" meta))));
+      let bd = Option.get (Json.member "cycle_breakdown" meta) in
+      let total =
+        List.fold_left
+          (fun acc (name, _) ->
+            acc
+            + Option.get (Json.to_int (Option.get (Json.member name bd))))
+          0
+          (Vliw_sim.breakdown_fields res.Vliw_sim.breakdown)
+      in
+      check_int "breakdown metadata sums to cycles" res.Vliw_sim.cycles total
+
+(* ---------- cycle accounting ---------- *)
+
+(* The tentpole invariant: every simulated cycle lands in exactly one
+   category, for every workload under every executable model. *)
+let test_accounting_sums () =
+  List.iter
+    (fun (w : Dsl.t) ->
+      List.iter
+        (fun (model : Model.t) ->
+          let res = run_workload w model in
+          let bd = res.Vliw_sim.breakdown in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s breakdown sums to cycles" w.Dsl.name
+               model.Model.name)
+            res.Vliw_sim.cycles
+            (Vliw_sim.breakdown_total bd);
+          List.iter
+            (fun (cat, v) ->
+              check_bool
+                (Printf.sprintf "%s/%s %s >= 0" w.Dsl.name model.Model.name cat)
+                true (v >= 0))
+            (Vliw_sim.breakdown_fields bd))
+        executable_models)
+    workloads
+
+let test_accounting_recovery_cycles () =
+  (* Workloads with no recoveries must charge nothing to recovery. *)
+  List.iter
+    (fun (w : Dsl.t) ->
+      let res = run_workload w Model.region_pred in
+      if res.Vliw_sim.stats.Vliw_sim.recoveries = 0 then
+        check_int
+          (w.Dsl.name ^ " no recovery cycles")
+          0 res.Vliw_sim.breakdown.Vliw_sim.bd_recovery)
+    workloads
+
+(* ---------- event-stream invariants ---------- *)
+
+let collect_events (w : Dsl.t) model =
+  let events = ref [] in
+  let on_event c e = events := (c, e) :: !events in
+  let res = run_workload ~on_event w model in
+  (res, List.rev !events)
+
+(* A region exit closes the region: invalidation happens at the exit, so
+   no buffered-state resolution (commit or squash) may appear in the
+   stream until the next bundle issues in the new region. *)
+let test_no_resolution_after_exit () =
+  List.iter
+    (fun (w : Dsl.t) ->
+      List.iter
+        (fun (model : Model.t) ->
+          let _, events = collect_events w model in
+          let after_exit = ref false in
+          List.iter
+            (fun (cycle, e) ->
+              match e with
+              | Vliw_sim.Region_exit _ -> after_exit := true
+              | Vliw_sim.Bundle_issue _ -> after_exit := false
+              | Vliw_sim.Reg_commit _ | Vliw_sim.Reg_squash _
+              | Vliw_sim.Store_commit _ | Vliw_sim.Store_squash _ ->
+                  if !after_exit then
+                    Alcotest.failf
+                      "%s/%s: state resolution at cycle %d between a region \
+                       exit and the next bundle"
+                      w.Dsl.name model.Model.name cycle
+              | _ -> ())
+            events)
+        executable_models)
+    workloads
+
+let test_recovery_done_count () =
+  List.iter
+    (fun (w : Dsl.t) ->
+      List.iter
+        (fun (model : Model.t) ->
+          let res, events = collect_events w model in
+          let dones =
+            List.length
+              (List.filter
+                 (fun (_, e) -> e = Vliw_sim.Recovery_done)
+                 events)
+          in
+          check_int
+            (Printf.sprintf "%s/%s recovery episodes" w.Dsl.name
+               model.Model.name)
+            res.Vliw_sim.stats.Vliw_sim.recoveries dones)
+        executable_models)
+    workloads
+
+(* Cycle numbers in the event stream never decrease, and no event is
+   stamped past the final cycle count. *)
+let test_event_cycles_monotone () =
+  List.iter
+    (fun (w : Dsl.t) ->
+      let res, events = collect_events w Model.region_pred in
+      let last = ref 0 in
+      List.iter
+        (fun (cycle, _) ->
+          check_bool (w.Dsl.name ^ " monotone") true (cycle >= !last);
+          last := cycle)
+        events;
+      check_bool (w.Dsl.name ^ " bounded") true (!last <= res.Vliw_sim.cycles))
+    workloads
+
+(* A run that actually recovers (the §3.5 demand-paging scenario from
+   examples/exception_recovery.ml): the accounting must still sum, must
+   charge the recovery category, and the event stream must close every
+   episode. *)
+let test_accounting_under_recovery () =
+  let open Psb_workloads.Dsl in
+  let stride = 70 and iters = 8 in
+  let program =
+    Program.make ~entry:(lbl "entry")
+      [
+        block "entry" [ mov 1 (i 0); mov 2 (i 0) ] (jmp "head");
+        block "head"
+          [
+            add 5 (r 20) (r 1);
+            load 6 5 0;
+            mul 6 (r 6) (i 3);
+            sub 6 (r 6) (i 1);
+            cmp 4 Opcode.Gt (r 6) (i 0);
+          ]
+          (br 4 "body" "done");
+        block "body"
+          [
+            mul 7 (r 1) (i stride);
+            add 7 (r 7) (r 21);
+            load 3 7 0;
+            add 2 (r 2) (r 3);
+            add 1 (r 1) (i 1);
+          ]
+          (jmp "head");
+        block "done" [ out (r 2) ] halt;
+      ]
+  in
+  let make_mem () =
+    let mem = Memory.create_demand ~size:2048 ~unmapped:(320, 1024) in
+    for k = 0 to iters - 1 do
+      Memory.poke mem k (if k = iters - 1 then 0 else 1)
+    done;
+    for k = 0 to iters - 1 do
+      let a = 256 + (k * stride) in
+      if Memory.probe mem a = None then Memory.poke mem a (k + 1)
+    done;
+    mem
+  in
+  let regs = [ (Reg.make 20, 0); (Reg.make 21, 256) ] in
+  let _, profile = Driver.profile_of program ~regs ~mem:(make_mem ()) in
+  let compiled =
+    Driver.compile ~model:Model.region_pred ~machine:Machine_model.base
+      ~profile program
+  in
+  let events = ref [] in
+  let sink = Vliw_trace.create ~model:Machine_model.base () in
+  let on_event c e =
+    events := (c, e) :: !events;
+    Vliw_trace.on_event sink c e
+  in
+  let res = Driver.run_vliw ~on_event compiled ~regs ~mem:(make_mem ()) in
+  check_bool "recovers" true (res.Vliw_sim.stats.Vliw_sim.recoveries > 0);
+  (* the trace sink renders each episode as a span on the recovery track *)
+  (match Json.parse (Json.to_string (Vliw_trace.to_json ~result:res sink)) with
+  | Error e -> Alcotest.failf "recovery trace does not parse: %s" e
+  | Ok v ->
+      let recovery_spans =
+        List.filter
+          (fun e ->
+            Option.bind (Json.member "name" e) Json.to_str = Some "recovery"
+            && Option.bind (Json.member "ph" e) Json.to_str = Some "X")
+          (Json.to_list (Option.get (Json.member "traceEvents" v)))
+      in
+      check_int "recovery spans" res.Vliw_sim.stats.Vliw_sim.recoveries
+        (List.length recovery_spans));
+  check_bool "recovery cycles charged" true
+    (res.Vliw_sim.breakdown.Vliw_sim.bd_recovery > 0);
+  check_int "sums under recovery" res.Vliw_sim.cycles
+    (Vliw_sim.breakdown_total res.Vliw_sim.breakdown);
+  let count p = List.length (List.filter (fun (_, e) -> p e) !events) in
+  check_int "every episode closes"
+    res.Vliw_sim.stats.Vliw_sim.recoveries
+    (count (fun e -> e = Vliw_sim.Recovery_done));
+  check_int "every episode opens"
+    res.Vliw_sim.stats.Vliw_sim.recoveries
+    (count (fun e -> e = Vliw_sim.Exception_detected))
+
+(* ---------- metrics integration ---------- *)
+
+let test_vliw_metrics_agree () =
+  let w = Suite.find "fib" in
+  let metrics = Metrics.create () in
+  let res = run_workload ~metrics w Model.region_pred in
+  let counter name =
+    Metrics.counter_value (Metrics.counter metrics name)
+  in
+  check_int "cycles counter" res.Vliw_sim.cycles (counter "vliw_cycles_total");
+  check_int "bundles counter" res.Vliw_sim.stats.Vliw_sim.dyn_bundles
+    (counter "vliw_dyn_bundles");
+  let by_cat =
+    List.fold_left
+      (fun acc (cat, _) ->
+        acc
+        + Metrics.counter_value
+            (Metrics.counter metrics "vliw_cycles"
+               ~labels:[ ("category", cat) ]))
+      0
+      (Vliw_sim.breakdown_fields res.Vliw_sim.breakdown)
+  in
+  check_int "per-category counters sum to cycles" res.Vliw_sim.cycles by_cat
+
+let test_scalar_fib_equivalence () =
+  let w = Suite.find "fib" in
+  let scalar =
+    Psb_machine.Scalar_sim.run ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+      w.Dsl.program
+  in
+  List.iter
+    (fun (model : Model.t) ->
+      let res = run_workload w model in
+      check_bool
+        (Printf.sprintf "fib output agrees under %s" model.Model.name)
+        true
+        (res.Vliw_sim.output = scalar.Interp.output))
+    executable_models
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "obj drops null" `Quick test_json_obj_drops_null;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histograms" `Quick test_metrics_histograms;
+          Alcotest.test_case "json deterministic" `Quick
+            test_metrics_json_deterministic;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "golden schema" `Quick test_trace_golden ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "sums to cycles" `Slow test_accounting_sums;
+          Alcotest.test_case "recovery zero" `Quick
+            test_accounting_recovery_cycles;
+          Alcotest.test_case "sums under recovery" `Quick
+            test_accounting_under_recovery;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "no resolution after exit" `Slow
+            test_no_resolution_after_exit;
+          Alcotest.test_case "recovery-done count" `Slow
+            test_recovery_done_count;
+          Alcotest.test_case "cycles monotone" `Quick
+            test_event_cycles_monotone;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "vliw metrics agree" `Quick
+            test_vliw_metrics_agree;
+          Alcotest.test_case "fib scalar equivalence" `Quick
+            test_scalar_fib_equivalence;
+        ] );
+    ]
