@@ -11,13 +11,21 @@
      dune exec bench/main.exe -- bechamel       # Bechamel timings of the
                                                 # regeneration of each table
 
+   -j N / --jobs N (default: physical cores) shards the experiment cells
+   over a work-stealing domain pool; the experiments member of --json
+   output is byte-identical at every -j level (only the "runtime"
+   section varies).
+
    Experiments: table2 table3 fig6 fig7 fig8 shadow validation counter btb
    related dup size unroll sweep limits hwcost *)
 
 open Psb_eval
+module Pool = Psb_parallel.Pool
 module Hwcost = Psb_machine.Hwcost
 
-let h = lazy (Harness.create ())
+let jobs = ref (Pool.default_jobs ())
+let pool = lazy (if !jobs > 1 then Some (Pool.create ~jobs:!jobs ()) else None)
+let h = lazy (Harness.create ?pool:(Lazy.force pool) ())
 
 let experiments : (string * string * (Format.formatter -> unit)) list =
   [
@@ -72,7 +80,9 @@ let experiments : (string * string * (Format.formatter -> unit)) list =
         Experiments.pp_unroll ppf (Experiments.unroll_ablation (Lazy.force h)) );
     ( "sweep",
       "synthetic branch-predictability sweep",
-      fun ppf -> Experiments.pp_sweep ppf (Experiments.predictability_sweep ()) );
+      fun ppf ->
+        Experiments.pp_sweep ppf
+          (Experiments.predictability_sweep ?pool:(Lazy.force pool) ()) );
     ( "limits",
       "ILP limit study (block vs oracle, the paper's motivation)",
       fun ppf -> Limits.pp ppf (Limits.analyze_suite ()) );
@@ -131,13 +141,41 @@ let run_json names =
   List.iter
     (fun n -> if not (List.mem n Report.experiment_names) then usage_error n)
     names;
-  let doc = Report.all ~names (Lazy.force h) in
+  let doc = Report.all ~names ~runtime:true (Lazy.force h) in
   print_endline (Psb_obs.Json.to_string doc)
 
+(* Strip -j N / --jobs N / -jN from anywhere in argv, setting [jobs]. *)
+let parse_jobs args =
+  let set n =
+    match int_of_string_opt n with
+    | Some v when v >= 1 -> jobs := v
+    | Some _ | None ->
+        Format.eprintf "bench: -j expects a positive integer, got %s@." n;
+        exit 2
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: [] ->
+        Format.eprintf "bench: -j expects an argument@.";
+        exit 2
+    | ("-j" | "--jobs") :: n :: rest ->
+        set n;
+        go acc rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        set (String.sub a 2 (String.length a - 2));
+        go acc rest
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> run_all ()
-  | [ _; "bechamel" ] -> run_bechamel ()
-  | _ :: "--json" :: names -> run_json names
-  | _ :: names -> List.iter run_one names
-  | [] -> ()
+  let args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  Fun.protect
+    ~finally:(fun () ->
+      if Lazy.is_val pool then Option.iter Pool.shutdown (Lazy.force pool))
+    (fun () ->
+      match args with
+      | [] -> run_all ()
+      | [ "bechamel" ] -> run_bechamel ()
+      | "--json" :: names -> run_json names
+      | names -> List.iter run_one names)

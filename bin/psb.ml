@@ -310,7 +310,11 @@ let profile_cmd =
     let profile =
       Psb_cfg.Branch_predict.of_trace (Psb_cfg.Cfg.of_program program) trace
     in
-    let compiled = Driver.compile ~metrics ~model ~machine ~profile program in
+    let cache = Compile_cache.create () in
+    let compiled =
+      Driver.compile ~metrics ~cache ~model ~machine ~profile program
+    in
+    Compile_cache.observe_metrics cache metrics;
     let res =
       if compiled.Driver.pcode = None then None
       else
@@ -523,13 +527,24 @@ let pexec_cmd =
 
 (* ----- experiments ----- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Psb_parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Shard experiment cells over $(docv) domains (default: physical \
+           cores). Results are byte-identical at every level.")
+
 let experiments_cmd =
-  let run names =
-    let argv =
-      match names with [] -> [| "bench" |] | l -> Array.of_list ("bench" :: l)
+  let run jobs names =
+    let pool =
+      if jobs > 1 then Some (Psb_parallel.Pool.create ~jobs ()) else None
     in
-    ignore argv;
-    let h = Psb_eval.Harness.create () in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Psb_parallel.Pool.shutdown pool)
+    @@ fun () ->
+    let h = Psb_eval.Harness.create ?pool () in
     let print title pp v =
       Format.printf "== %s ==@.%a@.@." title pp v
     in
@@ -576,7 +591,7 @@ let experiments_cmd =
       print "limits" Psb_eval.Limits.pp (Psb_eval.Limits.analyze_suite ());
     if want "sweep" then
       print "sweep" Psb_eval.Experiments.pp_sweep
-        (Psb_eval.Experiments.predictability_sweep ());
+        (Psb_eval.Experiments.predictability_sweep ?pool ());
     if want "hwcost" then
       print "hwcost" Psb_machine.Hwcost.pp_report
         (Psb_machine.Hwcost.analyze Psb_machine.Hwcost.default)
@@ -585,7 +600,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (all, or by name)")
-    Term.(const run $ names)
+    Term.(const run $ jobs_arg $ names)
 
 let () =
   let doc = "Unconstrained speculative execution with predicated state buffering" in

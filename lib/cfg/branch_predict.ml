@@ -52,3 +52,27 @@ let edge_probability t src dst =
       if Label.equal dst if_true then p := !p +. p_true;
       if Label.equal dst if_false then p := !p +. (1.0 -. p_true);
       !p
+
+let fingerprint t =
+  (* Everything the compiler can observe of a profile — per reachable
+     block (in the CFG's reverse post-order, so the walk is
+     deterministic): the predicted direction, its confidence, and the
+     probability of every outgoing edge. Two profiles with the same
+     fingerprint schedule identically, which is what the compile cache
+     needs from its key. *)
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (blk : Program.block) ->
+      let l = blk.Program.label in
+      Buffer.add_string b (Label.name l);
+      Buffer.add_char b (if predict t l then 'T' else 'F');
+      Buffer.add_string b (Printf.sprintf "%.9f" (confidence t l));
+      List.iter
+        (fun s ->
+          Buffer.add_string b
+            (Printf.sprintf ",%s:%.9f" (Label.name s)
+               (edge_probability t l s)))
+        (Program.successors blk);
+      Buffer.add_char b ';')
+    (Cfg.blocks t.cfg);
+  Digest.to_hex (Digest.string (Buffer.contents b))

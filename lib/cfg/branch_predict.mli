@@ -23,3 +23,9 @@ val confidence : t -> Label.t -> float
 val edge_probability : t -> Label.t -> Label.t -> float
 (** [edge_probability t src dst]: estimated probability that control
     leaving [src] goes to [dst]. *)
+
+val fingerprint : t -> string
+(** Hex digest of everything the compiler can observe of this profile
+    (per-block prediction, confidence, edge probabilities, walked in a
+    deterministic order). Profiles with equal fingerprints produce
+    identical schedules — the compile cache keys on this. *)

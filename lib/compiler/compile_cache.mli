@@ -1,0 +1,59 @@
+(** Content-addressed compile cache.
+
+    The evaluation sweeps re-ask the driver for the same schedules over
+    and over — figure 6 and figure 7 share the [global] column, every
+    ablation recompiles [region-pred] on the base machine, the unroll
+    study re-profiles the x1 programs figure 8 already covered. Keying
+    compiled results on {e content} (not on which experiment asked)
+    makes all of that reuse automatic, including across experiments in
+    one [bench --json] run and across domains of the parallel pool.
+
+    The key is a digest of everything that determines the output of
+    {!Driver.compile}:
+
+    - the program, in its canonical assembly text ({!Psb_isa.Asm.print}
+      round-trips, so the text is a faithful content address);
+    - every field of the {!Model.t} (not just its name);
+    - every field of the {!Psb_machine.Machine_model.t};
+    - the [single_shadow] and [avoid_commit_deps] compile options;
+    - the profile's {!Psb_cfg.Branch_predict.fingerprint}.
+
+    The table is guarded by a mutex, so domains of a parallel sweep
+    share one cache. Two domains racing on the same missing key both
+    compile (compilation is deterministic, so either result is {e the}
+    result — and both misses are counted, because both compiles really
+    happened); the first insertion wins and is what later hits return.
+    Cached values are immutable after construction and safe to share
+    across domains. *)
+
+type key = string
+(** Hex digest. Obtain one only via {!key}. *)
+
+val key :
+  model:Model.t ->
+  machine:Psb_machine.Machine_model.t ->
+  single_shadow:bool ->
+  avoid_commit_deps:bool ->
+  profile:Psb_cfg.Branch_predict.t ->
+  Psb_isa.Program.t ->
+  key
+
+type 'a t
+(** A cache of ['a] values (the driver instantiates ['a = compiled];
+    the type is parametric only to keep this module below {!Driver}). *)
+
+val create : unit -> 'a t
+
+val find_or_compile : 'a t -> key -> (unit -> 'a) -> 'a
+(** Return the cached value for [key], or run the thunk, cache, and
+    return it. The thunk runs outside the cache lock, so concurrent
+    misses on distinct keys compile in parallel. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : 'a t -> stats
+
+val observe_metrics : 'a t -> Psb_obs.Metrics.t -> unit
+(** Export the current counters into a metrics registry as
+    [compile_cache_hits], [compile_cache_misses] and
+    [compile_cache_entries]. *)

@@ -21,7 +21,7 @@ let profile_of program ~regs ~mem =
   let trace = Trace.of_result program result in
   (result, Branch_predict.of_trace cfg trace)
 
-let compile ?metrics ?(single_shadow = true) ?(avoid_commit_deps = false)
+let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps
     ~model ~machine ~profile program =
   let timed pass f =
     match metrics with
@@ -88,6 +88,21 @@ let compile ?metrics ?(single_shadow = true) ?(avoid_commit_deps = false)
               /. float_of_int s.Sched.length))
         schedules);
   { model; machine; units; schedules; pcode }
+
+let compile ?metrics ?cache ?(single_shadow = true) ?(avoid_commit_deps = false)
+    ~model ~machine ~profile program =
+  let build () =
+    compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~model ~machine
+      ~profile program
+  in
+  match cache with
+  | None -> build ()
+  | Some cache ->
+      let key =
+        Compile_cache.key ~model ~machine ~single_shadow ~avoid_commit_deps
+          ~profile program
+      in
+      Compile_cache.find_or_compile cache key build
 
 let estimate_cycles c program ~block_trace =
   (Cycles.measure ~units:c.units ~schedules:c.schedules program ~block_trace)

@@ -22,6 +22,7 @@ val profile_of : Program.t -> regs:(Reg.t * int) list -> mem:Memory.t ->
 
 val compile :
   ?metrics:Psb_obs.Metrics.t ->
+  ?cache:compiled Compile_cache.t ->
   ?single_shadow:bool ->
   ?avoid_commit_deps:bool ->
   model:Model.t ->
@@ -37,7 +38,13 @@ val compile :
     [metrics] collects per-pass wall-clock timings
     ([compile_pass_seconds{pass=cfg|unit_formation|schedule|check|emit}]),
     the unit count, and a schedule-density histogram ([sched_density],
-    operations per bundle). *)
+    operations per bundle).
+
+    [cache] short-circuits the whole pipeline on a content hit (see
+    {!Compile_cache} for the key derivation); on a hit no passes run,
+    so no pass timings are recorded. The returned value may be shared
+    with other callers (and other domains) — treat it as read-only,
+    which every consumer already does. *)
 
 val estimate_cycles : compiled -> Program.t -> block_trace:Label.t list -> int
 (** Trace-driven cycle count (see {!Cycles}). *)

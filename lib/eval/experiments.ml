@@ -4,6 +4,27 @@ open Psb_workloads
 module Machine_model = Psb_machine.Machine_model
 module Vliw_sim = Psb_machine.Vliw_sim
 
+(* Sharding helpers: experiments flatten their (workload x model x
+   config) grids into one task list, evaluate it through the harness
+   pool, and regroup. Regrouping by fixed-size chunk keeps the result
+   deterministic: position in the flat list encodes the cell. *)
+
+let chunks n xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> invalid_arg "Experiments.chunks: ragged input"
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+        let c, rest = take n [] xs in
+        c :: go rest
+  in
+  if n <= 0 then invalid_arg "Experiments.chunks" else go xs
+
+let grid entries cols = List.concat_map (fun e -> List.map (fun c -> (e, c)) cols) entries
+
 (* ----- Table 2 ----- *)
 
 type table2_row = { t2_name : string; t2_lines : int; t2_scalar_cycles : int }
@@ -33,7 +54,7 @@ let pp_table2 ppf rows =
 type table3_row = { t3_name : string; t3_acc : float array }
 
 let table3 (h : Harness.t) =
-  List.map
+  Harness.par_map h
     (fun (e : Harness.entry) ->
       let t =
         Trace.of_result e.Harness.workload.Dsl.program e.Harness.scalar
@@ -69,19 +90,21 @@ type speedup_table = {
 }
 
 let speedups (h : Harness.t) models =
-  let rows =
-    List.map
-      (fun (e : Harness.entry) ->
+  (* one task per (workload x model) cell *)
+  let flat =
+    Harness.par_map h
+      (fun ((e : Harness.entry), m) ->
         let scalar = Harness.scalar_cycles e in
-        let per_model =
-          List.map
-            (fun m ->
-              let cycles = Harness.estimated_cycles h m e in
-              Harness.speedup ~scalar ~cycles)
-            models
-        in
+        let cycles = Harness.estimated_cycles h m e in
+        Harness.speedup ~scalar ~cycles)
+      (grid h.Harness.entries models)
+  in
+  let rows =
+    List.map2
+      (fun (e : Harness.entry) per_model ->
         (e.Harness.workload.Dsl.name, per_model))
       h.Harness.entries
+      (chunks (List.length models) flat)
   in
   let geomean =
     List.mapi
@@ -117,26 +140,25 @@ type fig8_cell = { issue : int; conds : int; speedup : float }
 type fig8_row = { f8_name : string; cells : fig8_cell list }
 
 let figure8 ?(issues = [ 2; 4; 8 ]) ?(cond_depths = [ 1; 2; 4; 8 ]) (h : Harness.t) =
-  List.map
-    (fun (e : Harness.entry) ->
-      let scalar = Harness.scalar_cycles e in
-      let cells =
-        List.concat_map
-          (fun issue ->
-            List.map
-              (fun conds ->
-                let machine =
-                  Machine_model.full_issue ~width:issue ~max_spec_conds:conds
-                in
-                let cycles =
-                  Harness.estimated_cycles h ~machine Model.region_pred e
-                in
-                { issue; conds; speedup = Harness.speedup ~scalar ~cycles })
-              cond_depths)
-          issues
-      in
+  let configs =
+    List.concat_map (fun issue -> List.map (fun c -> (issue, c)) cond_depths) issues
+  in
+  let flat =
+    Harness.par_map h
+      (fun ((e : Harness.entry), (issue, conds)) ->
+        let scalar = Harness.scalar_cycles e in
+        let machine =
+          Machine_model.full_issue ~width:issue ~max_spec_conds:conds
+        in
+        let cycles = Harness.estimated_cycles h ~machine Model.region_pred e in
+        { issue; conds; speedup = Harness.speedup ~scalar ~cycles })
+      (grid h.Harness.entries configs)
+  in
+  List.map2
+    (fun (e : Harness.entry) cells ->
       { f8_name = e.Harness.workload.Dsl.name; cells })
     h.Harness.entries
+    (chunks (List.length configs) flat)
 
 let pp_figure8 ppf rows =
   Format.fprintf ppf
@@ -169,7 +191,7 @@ type shadow_row = {
 }
 
 let shadow_ablation (h : Harness.t) =
-  List.map
+  Harness.par_map h
     (fun (e : Harness.entry) ->
       let single = Harness.measured h Model.region_pred e in
       let infinite =
@@ -212,18 +234,16 @@ type validation_row = {
 }
 
 let validation (h : Harness.t) =
-  List.concat_map
-    (fun (e : Harness.entry) ->
-      List.map
-        (fun m ->
-          {
-            v_name = e.Harness.workload.Dsl.name;
-            v_model = m.Model.name;
-            v_estimated = Harness.estimated_cycles h m e;
-            v_measured = (Harness.measured h m e).Vliw_sim.cycles;
-          })
-        [ Model.region_sched; Model.trace_pred; Model.region_pred ])
-    h.Harness.entries
+  Harness.par_map h
+    (fun ((e : Harness.entry), m) ->
+      {
+        v_name = e.Harness.workload.Dsl.name;
+        v_model = m.Model.name;
+        v_estimated = Harness.estimated_cycles h m e;
+        v_measured = (Harness.measured h m e).Vliw_sim.cycles;
+      })
+    (grid h.Harness.entries
+       [ Model.region_sched; Model.trace_pred; Model.region_pred ])
 
 let pp_validation ppf rows =
   Format.fprintf ppf "@[<v>Accounting validation: estimated vs machine-measured@,";
@@ -242,7 +262,7 @@ let pp_validation ppf rows =
 type counter_row = { c_name : string; c_vector : float; c_counter : float }
 
 let counter_ablation (h : Harness.t) =
-  List.map
+  Harness.par_map h
     (fun (e : Harness.entry) ->
       let scalar = Harness.scalar_cycles e in
       let s m = Harness.speedup ~scalar ~cycles:(Harness.estimated_cycles h m e) in
@@ -268,16 +288,13 @@ let pp_counter ppf rows =
 type btb_row = { b_name : string; b_free : int; b_miss1 : int }
 
 let btb_ablation (h : Harness.t) =
-  List.map
+  Harness.par_map h
     (fun (e : Harness.entry) ->
       let free = Harness.measured h Model.region_pred e in
       let machine1 =
         { h.Harness.machine with Machine_model.transition_penalty = 1 }
       in
-      let compiled =
-        Driver.compile ~model:Model.region_pred ~machine:machine1
-          ~profile:e.Harness.profile e.Harness.workload.Dsl.program
-      in
+      let compiled = Harness.compile h ~machine:machine1 Model.region_pred e in
       let mem = e.Harness.workload.Dsl.make_mem () in
       let miss =
         Driver.run_vliw compiled ~regs:e.Harness.workload.Dsl.regs ~mem
@@ -305,14 +322,12 @@ let pp_btb ppf rows =
 type dup_row = { d_name : string; d_merged : float; d_split : float }
 
 let dup_ablation (h : Harness.t) =
-  List.map
+  Harness.par_map h
     (fun (e : Harness.entry) ->
       let scalar = Harness.scalar_cycles e in
       let est ~avoid =
         let compiled =
-          Driver.compile ~avoid_commit_deps:avoid ~model:Model.region_pred
-            ~machine:h.Harness.machine ~profile:e.Harness.profile
-            e.Harness.workload.Dsl.program
+          Harness.compile h ~avoid_commit_deps:avoid Model.region_pred e
         in
         Driver.estimate_cycles compiled e.Harness.workload.Dsl.program
           ~block_trace:e.Harness.scalar.Interp.block_trace
@@ -344,7 +359,7 @@ type size_row = {
 
 let code_growth (h : Harness.t) =
   let models = [ Model.global; Model.boosting; Model.trace_pred; Model.region_pred ] in
-  List.map
+  Harness.par_map h
     (fun (e : Harness.entry) ->
       let w = e.Harness.workload in
       {
@@ -381,29 +396,33 @@ type unroll_row = { u_name : string; u_by_factor : (int * float) list }
 
 let unroll_ablation ?(factors = [ 1; 2; 4 ]) (h : Harness.t) =
   let machine = Machine_model.full_issue ~width:8 ~max_spec_conds:8 in
-  List.map
-    (fun (e : Harness.entry) ->
-      let w = e.Harness.workload in
-      let u_by_factor =
-        List.map
-          (fun factor ->
-            let program =
-              if factor <= 1 then w.Dsl.program
-              else Transform.unroll_loops ~factor w.Dsl.program
-            in
-            let scalar, profile =
-              Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
-            in
-            let compiled = Driver.compile ~model:Model.region_pred ~machine ~profile program in
-            let cycles =
-              Driver.estimate_cycles compiled program
-                ~block_trace:scalar.Interp.block_trace
-            in
-            (factor, Harness.speedup ~scalar:scalar.Interp.cycles ~cycles))
-          factors
-      in
-      { u_name = w.Dsl.name; u_by_factor })
+  let flat =
+    Harness.par_map h
+      (fun ((e : Harness.entry), factor) ->
+        let w = e.Harness.workload in
+        let program =
+          if factor <= 1 then w.Dsl.program
+          else Transform.unroll_loops ~factor w.Dsl.program
+        in
+        let scalar, profile =
+          Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+        in
+        let compiled =
+          Driver.compile ~cache:h.Harness.cache ~model:Model.region_pred
+            ~machine ~profile program
+        in
+        let cycles =
+          Driver.estimate_cycles compiled program
+            ~block_trace:scalar.Interp.block_trace
+        in
+        (factor, Harness.speedup ~scalar:scalar.Interp.cycles ~cycles))
+      (grid h.Harness.entries factors)
+  in
+  List.map2
+    (fun (e : Harness.entry) u_by_factor ->
+      { u_name = e.Harness.workload.Dsl.name; u_by_factor })
     h.Harness.entries
+    (chunks (List.length factors) flat)
 
 let pp_unroll ppf rows =
   Format.fprintf ppf
@@ -427,20 +446,25 @@ let pp_unroll ppf rows =
 
 type sweep_row = { sw_taken_prob : float; sw_trace : float; sw_region : float }
 
-let predictability_sweep ?(probs = [ 0.5; 0.65; 0.8; 0.9; 0.98 ]) () =
-  List.map
-    (fun p ->
-      let w = Synth.generate { Synth.default with taken_prob = p } in
-      let h = Harness.create ~workloads:[ w ] () in
-      let e = List.hd h.Harness.entries in
-      let scalar = Harness.scalar_cycles e in
-      let s m = Harness.speedup ~scalar ~cycles:(Harness.estimated_cycles h m e) in
-      {
-        sw_taken_prob = p;
-        sw_trace = s Model.trace_pred;
-        sw_region = s Model.region_pred;
-      })
-    probs
+let predictability_sweep ?pool ?(probs = [ 0.5; 0.65; 0.8; 0.9; 0.98 ]) () =
+  let cell p =
+    (* Each probability point is one task: it builds its own (sequential)
+       single-workload harness, so tasks stay independent and nothing
+       nests inside the pool. *)
+    let w = Synth.generate { Synth.default with taken_prob = p } in
+    let h = Harness.create ~workloads:[ w ] () in
+    let e = List.hd h.Harness.entries in
+    let scalar = Harness.scalar_cycles e in
+    let s m = Harness.speedup ~scalar ~cycles:(Harness.estimated_cycles h m e) in
+    {
+      sw_taken_prob = p;
+      sw_trace = s Model.trace_pred;
+      sw_region = s Model.region_pred;
+    }
+  in
+  match pool with
+  | Some p -> Psb_parallel.Pool.map_exn p cell probs
+  | None -> List.map cell probs
 
 let pp_sweep ppf rows =
   Format.fprintf ppf

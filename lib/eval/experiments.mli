@@ -153,9 +153,12 @@ val pp_unroll : Format.formatter -> unroll_row list -> unit
 
 type sweep_row = { sw_taken_prob : float; sw_trace : float; sw_region : float }
 
-val predictability_sweep : ?probs:float list -> unit -> sweep_row list
+val predictability_sweep :
+  ?pool:Psb_parallel.Pool.t -> ?probs:float list -> unit -> sweep_row list
 (** Synthetic diamond chains: region- vs trace-predicating speedup as
     branch predictability varies — the mechanism behind the paper's
-    per-benchmark Figure 7 pattern. *)
+    per-benchmark Figure 7 pattern. Each probability point is an
+    independent task on [pool] when given (the per-point harnesses stay
+    sequential so nothing nests). *)
 
 val pp_sweep : Format.formatter -> sweep_row list -> unit

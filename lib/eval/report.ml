@@ -217,7 +217,7 @@ let experiment_names =
     "limits"; "hwcost";
   ]
 
-let experiment h = function
+let experiment (h : Harness.t) = function
   | "table2" -> Some (table2_json (Experiments.table2 h))
   | "table3" -> Some (table3_json (Experiments.table3 h))
   | "fig6" -> Some (speedup_table_json (Experiments.figure6 h))
@@ -231,22 +231,76 @@ let experiment h = function
   | "dup" -> Some (dup_json (Experiments.dup_ablation h))
   | "size" -> Some (size_json (Experiments.code_growth h))
   | "unroll" -> Some (unroll_json (Experiments.unroll_ablation h))
-  | "sweep" -> Some (sweep_json (Experiments.predictability_sweep ()))
+  | "sweep" ->
+      Some (sweep_json (Experiments.predictability_sweep ?pool:h.Harness.pool ()))
   | "limits" -> Some (limits_json (Limits.analyze_suite ()))
   | "hwcost" -> Some (hwcost_json (Hwcost.analyze Hwcost.default))
   | _ -> None
 
-let all ?(names = experiment_names) h =
+(* The "runtime" section is the one part of the document that is NOT
+   deterministic (wall-clock, per-domain load, cache traffic depend on
+   scheduling): consumers comparing documents across [-j] levels strip
+   this member first, and the determinism tests do exactly that. *)
+let runtime_json (h : Harness.t) ~wall_seconds ~per_experiment =
+  let pool_stats =
+    match h.Harness.pool with
+    | Some p -> Psb_parallel.Pool.stats p
+    | None -> [||]
+  in
+  let cache = Harness.cache_stats h in
+  Json.Obj
+    [
+      ("jobs", Json.Int (Harness.jobs h));
+      ( "domains",
+        Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i (s : Psb_parallel.Pool.domain_stat) ->
+                  Json.Obj
+                    [
+                      ("domain", Json.Int i);
+                      ("tasks", Json.Int s.Psb_parallel.Pool.tasks);
+                      ( "busy_seconds",
+                        Json.Float s.Psb_parallel.Pool.busy_seconds );
+                    ])
+                pool_stats)) );
+      ( "compile_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int cache.Psb_compiler.Compile_cache.hits);
+            ("misses", Json.Int cache.Psb_compiler.Compile_cache.misses);
+            ("entries", Json.Int cache.Psb_compiler.Compile_cache.entries);
+          ] );
+      ( "experiments_wall_seconds",
+        Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) per_experiment) );
+      ("wall_seconds", Json.Float wall_seconds);
+    ]
+
+let all ?(names = experiment_names) ?(runtime = false) h =
+  let t0 = Unix.gettimeofday () in
+  let timings = ref [] in
   let experiments =
     List.map
       (fun name ->
+        let e0 = Unix.gettimeofday () in
         match experiment h name with
-        | Some v -> (name, v)
+        | Some v ->
+            timings := (name, Unix.gettimeofday () -. e0) :: !timings;
+            (name, v)
         | None -> invalid_arg ("Report.all: unknown experiment " ^ name))
       names
   in
   Json.Obj
-    [
-      ("schema_version", Json.Int 1);
-      ("experiments", Json.Obj experiments);
-    ]
+    ([
+       ("schema_version", Json.Int 2);
+       ("experiments", Json.Obj experiments);
+     ]
+    @
+    if runtime then
+      [
+        ( "runtime",
+          runtime_json h
+            ~wall_seconds:(Unix.gettimeofday () -. t0)
+            ~per_experiment:(List.rev !timings) );
+      ]
+    else [])

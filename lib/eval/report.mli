@@ -4,7 +4,7 @@
 
     Document shape:
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "experiments": {
         "table2":     [ {"name", "lines", "scalar_cycles"} ... ],
         "table3":     [ {"name", "accuracy": [..8 floats..]} ... ],
@@ -23,8 +23,19 @@
         "sweep":      [ {"taken_prob", "trace", "region"} ... ],
         "limits":     [ {"name", "dyn_instrs", "block_ipc", "oracle_ipc",
                          "headroom"} ... ],
-        "hwcost":     { ... the Hwcost.report fields ... } } }
+        "hwcost":     { ... the Hwcost.report fields ... } },
+      "runtime":      (optional, only with [~runtime:true])
+                      { "jobs", "domains": [{"domain","tasks",
+                        "busy_seconds"}..],
+                        "compile_cache": {"hits","misses","entries"},
+                        "experiments_wall_seconds": {name: seconds, ..},
+                        "wall_seconds" } }
     v}
+
+    Everything under "experiments" is deterministic — byte-identical at
+    any [-j] level. "runtime" is the sole nondeterministic member
+    (wall-clock, per-domain load and cache traffic depend on
+    scheduling); strip it before comparing documents.
 
     A golden test round-trips the document through {!Psb_obs.Json.parse}
     so the schema cannot drift silently. *)
@@ -37,8 +48,10 @@ val experiment_names : string list
 val experiment : Harness.t -> string -> Json.t option
 (** Run one experiment by its bench/CLI name; [None] for unknown names. *)
 
-val all : ?names:string list -> Harness.t -> Json.t
-(** The full document ([names] defaults to {!experiment_names}).
+val all : ?names:string list -> ?runtime:bool -> Harness.t -> Json.t
+(** The full document ([names] defaults to {!experiment_names});
+    [~runtime:true] (default false) appends the "runtime" member with
+    per-domain wall-clock and compile-cache statistics.
     @raise Invalid_argument on an unknown name. *)
 
 val speedup_table_json : Experiments.speedup_table -> Json.t

@@ -1,0 +1,56 @@
+(* Mutex-protected ring buffer. [head] indexes the oldest element (the
+   steal end); the owner's end is [head + len]. The buffer doubles when
+   full and slots are cleared on removal so the GC can reclaim tasks. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create () =
+  { lock = Mutex.create (); buf = Array.make 16 None; head = 0; len = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push t x =
+  locked t (fun () ->
+      if t.len = Array.length t.buf then grow t;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+      t.len <- t.len + 1)
+
+let pop t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let i = (t.head + t.len - 1) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        x
+      end)
+
+let steal t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        x
+      end)
+
+let length t = locked t (fun () -> t.len)

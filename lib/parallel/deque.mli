@@ -1,0 +1,25 @@
+(** Double-ended work queue for the domain pool's scheduler.
+
+    The owning worker pushes and pops at the {e bottom} (LIFO, so it
+    keeps working on what it queued most recently — good locality);
+    thieves take from the {e top} (FIFO, so they grab the oldest, and
+    usually largest-remaining, work). Every operation is guarded by a
+    per-deque mutex: the tasks this pool schedules are whole
+    compile-and-simulate cells, large enough that lock traffic is noise,
+    and a mutex keeps the structure obviously correct under any
+    interleaving. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner end (bottom). *)
+
+val pop : 'a t -> 'a option
+(** Owner end (bottom): most recently pushed element. *)
+
+val steal : 'a t -> 'a option
+(** Thief end (top): oldest element. *)
+
+val length : 'a t -> int

@@ -1,0 +1,62 @@
+(** Fixed-size domain pool with a work-stealing deque scheduler.
+
+    The evaluation harness is embarrassingly parallel — every
+    (workload × model) cell profiles, compiles and simulates
+    independently — so the pool's contract is a deterministic batch
+    [map]: results come back in input order no matter which domain ran
+    which task, and every per-task exception is captured (with its
+    backtrace) instead of tearing down the whole sweep.
+
+    A pool of [jobs] = N executes on N domains: N-1 dedicated worker
+    domains spawned at {!create}, plus the calling domain, which joins
+    in as worker 0 for the duration of each {!map}. Tasks are dealt
+    round-robin across the per-worker deques; an idle worker pops its
+    own deque LIFO and steals FIFO from the others.
+
+    Restrictions: one batch at a time per pool, and tasks must not call
+    {!map} on the pool that is running them (the worker would wait on
+    itself). Keep task bodies pure up to freshly-allocated state — the
+    whole compile/simulate pipeline already is. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}. [jobs = 1] spawns no domains:
+    {!map} then runs every task inline on the caller, in order — the
+    sequential baseline the determinism tests compare against.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — roughly the physical cores. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; the pool must not be
+    used afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+type error = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+val map : t -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Run [f] over every element as independent tasks; block until all
+    have finished. The result list matches the input list element for
+    element, so ordering is deterministic by construction. A raising
+    task yields [Error] in its own slot and nothing else. *)
+
+val map_exn : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map}, then re-raise the first captured exception (with its
+    original backtrace) if any task failed. The whole batch still runs
+    to completion first — one failing cell never aborts the sweep
+    mid-flight. *)
+
+type domain_stat = {
+  tasks : int;  (** tasks this domain executed *)
+  busy_seconds : float;  (** wall-clock time spent inside task bodies *)
+}
+
+val stats : t -> domain_stat array
+(** Per-domain accounting since [create]; index 0 is the calling
+    domain, 1.. the spawned workers. Read it between batches. *)

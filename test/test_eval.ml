@@ -160,6 +160,49 @@ let test_related_spectrum () =
   check_bool "boosting above guarded" true (b > g);
   check_bool "region-pred tops the spectrum" true (rp >= b)
 
+let test_geomean_total () =
+  let eps = 1e-9 in
+  let close msg want got = check_bool msg true (abs_float (want -. got) < eps) in
+  (* empty product: an empty sweep aggregates to "no change", it must
+     not collapse on a 0-length fold *)
+  close "geomean [] = 1" 1.0 (Harness.geomean []);
+  close "geomean singleton" 2.5 (Harness.geomean [ 2.5 ]);
+  close "geomean pair" 2.0 (Harness.geomean [ 1.0; 4.0 ]);
+  close "geomean triple" 2.0 (Harness.geomean [ 1.0; 2.0; 4.0 ])
+
+(* Determinism: the experiments member of the Report document must be
+   byte-identical whether the harness is sequential or sharded over a
+   pool wider than the machine — cells are pure, results land by input
+   position, and cache hits return deterministically-compiled values.
+   This is the test-enforced form of `bench --json -j 1` = `-j 8`. *)
+let test_parallel_determinism () =
+  let names =
+    [ "table2"; "table3"; "fig6"; "fig7"; "validation"; "counter"; "sweep" ]
+  in
+  let seq = Psb_obs.Json.to_string (Report.all ~names (Lazy.force h)) in
+  let par =
+    Psb_parallel.Pool.with_pool ~jobs:8 (fun pool ->
+        let hp = Harness.create ~pool () in
+        Psb_obs.Json.to_string (Report.all ~names hp))
+  in
+  Alcotest.(check string) "bytes identical at -j 1 vs -j 8" seq par
+
+(* The harness routes every compile through one shared cache; repeating
+   an experiment must hit instead of recompiling. *)
+let test_cache_traffic () =
+  let h = Lazy.force h in
+  ignore (Experiments.figure6 h);
+  let s1 = Harness.cache_stats h in
+  check_bool "compiles happened" true (s1.Compile_cache.misses > 0);
+  check_bool "entries match misses" true
+    (s1.Compile_cache.entries = s1.Compile_cache.misses);
+  ignore (Experiments.figure6 h);
+  let s2 = Harness.cache_stats h in
+  check_bool "rerun adds no entries" true
+    (s2.Compile_cache.entries = s1.Compile_cache.entries);
+  check_bool "rerun is all hits" true
+    (s2.Compile_cache.hits >= s1.Compile_cache.hits + 24)
+
 let test_limits () =
   let rows = Limits.analyze_suite () in
   List.iter
@@ -188,6 +231,13 @@ let () =
           Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
         ] );
       ("limits", [ Alcotest.test_case "headroom" `Quick test_limits ]);
+      ( "harness",
+        [
+          Alcotest.test_case "geomean is total" `Quick test_geomean_total;
+          Alcotest.test_case "cache traffic" `Slow test_cache_traffic;
+          Alcotest.test_case "-j 1 = -j 8 byte-identical" `Slow
+            test_parallel_determinism;
+        ] );
       ( "related",
         [ Alcotest.test_case "2.2 spectrum" `Slow test_related_spectrum ] );
       ( "ablations",

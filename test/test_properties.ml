@@ -171,6 +171,114 @@ let prop_exits_wait_for_conditions =
             u.Runit.exits)
         compiled.Driver.schedules)
 
+(* ----- compile cache ----- *)
+
+let profile_of g =
+  let program = g.Gen_programs.program in
+  let _, profile =
+    Driver.profile_of program ~regs:Gen_programs.regs
+      ~mem:(Gen_programs.make_mem g)
+  in
+  profile
+
+(* Structural equality of compiled results: same schedules (per-label
+   issue cycles), same static size, same predicated code text. *)
+let compiled_equal (a : Driver.compiled) (b : Driver.compiled) =
+  Driver.code_size a = Driver.code_size b
+  && Label.Map.equal
+       (fun (s1 : Sched.t) (s2 : Sched.t) -> s1.Sched.issue = s2.Sched.issue)
+       a.Driver.schedules b.Driver.schedules
+  && Option.equal
+       (fun c1 c2 ->
+         Format.asprintf "%a" Psb_machine.Pcode.pp c1
+         = Format.asprintf "%a" Psb_machine.Pcode.pp c2)
+       a.Driver.pcode b.Driver.pcode
+
+let prop_cache_hit_equals_fresh =
+  QCheck.Test.make ~name:"cache hit = fresh compile (structurally)" ~count:40
+    Gen_programs.arb_program (fun g ->
+      let program = g.Gen_programs.program in
+      let profile = profile_of g in
+      let cache = Compile_cache.create () in
+      List.for_all
+        (fun model ->
+          let via_cache () =
+            Driver.compile ~cache ~model ~machine ~profile program
+          in
+          let first = via_cache () in
+          let second = via_cache () in
+          let fresh = Driver.compile ~model ~machine ~profile program in
+          (* the hit returns the cached value itself... *)
+          second == first
+          (* ...and that value is indistinguishable from recompiling *)
+          && compiled_equal first fresh)
+        Model.all
+      && (Compile_cache.stats cache).Compile_cache.hits
+         = List.length Model.all)
+
+let prop_cache_keys_distinct =
+  QCheck.Test.make ~name:"distinct configurations never collide" ~count:40
+    Gen_programs.arb_program (fun g ->
+      let program = g.Gen_programs.program in
+      let profile = profile_of g in
+      let machines =
+        [
+          Machine_model.base;
+          Machine_model.full_issue ~width:4 ~max_spec_conds:4;
+          Machine_model.full_issue ~width:8 ~max_spec_conds:8;
+        ]
+      in
+      let keys =
+        List.concat_map
+          (fun model ->
+            List.concat_map
+              (fun machine ->
+                List.concat_map
+                  (fun single_shadow ->
+                    List.map
+                      (fun avoid_commit_deps ->
+                        Compile_cache.key ~model ~machine ~single_shadow
+                          ~avoid_commit_deps ~profile program)
+                      [ true; false ])
+                  [ true; false ])
+              machines)
+          (Model.trace_pred_counter :: Model.all)
+      in
+      (* every (model × machine × flags) combination keys differently,
+         and the key is a pure function of its inputs *)
+      List.length (List.sort_uniq compare keys) = List.length keys
+      && keys
+         = List.concat_map
+             (fun model ->
+               List.concat_map
+                 (fun machine ->
+                   List.concat_map
+                     (fun single_shadow ->
+                       List.map
+                         (fun avoid_commit_deps ->
+                           Compile_cache.key ~model ~machine ~single_shadow
+                             ~avoid_commit_deps ~profile program)
+                         [ true; false ])
+                     [ true; false ])
+                 machines)
+             (Model.trace_pred_counter :: Model.all))
+
+let prop_cache_program_sensitivity =
+  (* two different random programs (their canonical text differs) must
+     key differently even under the same model/machine/flags *)
+  QCheck.Test.make ~name:"distinct programs never collide"
+    ~count:40
+    QCheck.(pair Gen_programs.arb_program Gen_programs.arb_program)
+    (fun (g1, g2) ->
+      QCheck.assume
+        (Asm.print g1.Gen_programs.program <> Asm.print g2.Gen_programs.program);
+      let k g =
+        Compile_cache.key ~model:Model.region_pred ~machine
+          ~single_shadow:true ~avoid_commit_deps:false ~profile:(profile_of g)
+          g.Gen_programs.program
+      in
+      k g1 <> k g2)
+
 let () =
   Alcotest.run "properties"
     [
@@ -189,5 +297,12 @@ let () =
             prop_validator_all_models;
             prop_completion_before_exits;
             prop_exits_wait_for_conditions;
+          ] );
+      ( "cache",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cache_hit_equals_fresh;
+            prop_cache_keys_distinct;
+            prop_cache_program_sensitivity;
           ] );
     ]
