@@ -1,4 +1,4 @@
-.PHONY: all build test fmt bench bench-json clean
+.PHONY: all build test fmt doc bench bench-json clean
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 fmt:
 	dune build @fmt
+
+# API documentation (needs odoc; CI treats odoc warnings as errors).
+doc:
+	dune build @doc
+	@echo open _build/default/_doc/_html/index.html
 
 bench:
 	dune exec bench/main.exe

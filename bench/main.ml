@@ -16,6 +16,10 @@
    output is byte-identical at every -j level (only the "runtime"
    section varies).
 
+   Every compile is checked by the static speculation-safety verifier
+   (lib/verify) and aborts the run on a violation; --no-verify skips the
+   check to save compile time in exploratory sweeps.
+
    Experiments: table2 table3 fig6 fig7 fig8 shadow validation counter btb
    related dup size unroll sweep limits hwcost *)
 
@@ -24,8 +28,9 @@ module Pool = Psb_parallel.Pool
 module Hwcost = Psb_machine.Hwcost
 
 let jobs = ref (Pool.default_jobs ())
+let verify = ref true
 let pool = lazy (if !jobs > 1 then Some (Pool.create ~jobs:!jobs ()) else None)
-let h = lazy (Harness.create ?pool:(Lazy.force pool) ())
+let h = lazy (Harness.create ?pool:(Lazy.force pool) ~verify:!verify ())
 
 let experiments : (string * string * (Format.formatter -> unit)) list =
   [
@@ -144,7 +149,8 @@ let run_json names =
   let doc = Report.all ~names ~runtime:true (Lazy.force h) in
   print_endline (Psb_obs.Json.to_string doc)
 
-(* Strip -j N / --jobs N / -jN from anywhere in argv, setting [jobs]. *)
+(* Strip -j N / --jobs N / -jN (setting [jobs]) and --no-verify (clearing
+   [verify]) from anywhere in argv. *)
 let parse_jobs args =
   let set n =
     match int_of_string_opt n with
@@ -163,6 +169,9 @@ let parse_jobs args =
         go acc rest
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
         set (String.sub a 2 (String.length a - 2));
+        go acc rest
+    | "--no-verify" :: rest ->
+        verify := false;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in

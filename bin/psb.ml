@@ -8,6 +8,7 @@
      trace WORKLOAD         emit a run as Chrome trace-event JSON
      timeline WORKLOAD      human-readable machine event log
      profile WORKLOAD       cycle-accounting breakdown, hot blocks, metrics
+     verify [WORKLOAD]      static speculation-safety check of compiled code
      speedup WORKLOAD       all models side by side
      experiments [NAME..]   regenerate the paper's tables and figures *)
 
@@ -20,33 +21,33 @@ module Vliw_sim = Psb_machine.Vliw_sim
 module Vliw_trace = Psb_machine.Vliw_trace
 module Pcode = Psb_machine.Pcode
 
+let wconv =
+  Arg.conv ~docv:"WORKLOAD"
+    ( (fun s ->
+        match Suite.find s with
+        | w -> Ok w
+        | exception Not_found ->
+            Error (`Msg ("unknown workload " ^ s ^ "; try `psb list`"))),
+      fun ppf (w : Dsl.t) -> Format.pp_print_string ppf w.Dsl.name )
+
 let workload_arg =
-  let wconv =
-    Arg.conv ~docv:"WORKLOAD"
-      ( (fun s ->
-          match Suite.find s with
-          | w -> Ok w
-          | exception Not_found ->
-              Error (`Msg ("unknown workload " ^ s ^ "; try `psb list`"))),
-        fun ppf (w : Dsl.t) -> Format.pp_print_string ppf w.Dsl.name )
-  in
   Arg.(required & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
 
+let mconv =
+  Arg.conv ~docv:"MODEL"
+    ( (fun s ->
+        (* accept region_pred as a spelling of region-pred, etc. *)
+        let s = String.map (function '_' -> '-' | c -> c) s in
+        match
+          List.find_opt
+            (fun (m : Model.t) -> m.Model.name = s)
+            (Model.trace_pred_counter :: Model.all)
+        with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown model " ^ s))),
+      Model.pp )
+
 let model_arg =
-  let mconv =
-    Arg.conv ~docv:"MODEL"
-      ( (fun s ->
-          (* accept region_pred as a spelling of region-pred, etc. *)
-          let s = String.map (function '_' -> '-' | c -> c) s in
-          match
-            List.find_opt
-              (fun (m : Model.t) -> m.Model.name = s)
-              (Model.trace_pred_counter :: Model.all)
-          with
-          | Some m -> Ok m
-          | None -> Error (`Msg ("unknown model " ^ s))),
-        Model.pp )
-  in
   Arg.(
     value
     & opt mconv Model.region_pred
@@ -525,6 +526,122 @@ let pexec_cmd =
              commit/squash timeline")
     Term.(const run $ path)
 
+(* ----- verify: static speculation-safety check ----- *)
+
+let verify_cmd =
+  let run wopt mopt issue opt json =
+    let machine = machine_of_issue issue in
+    let workloads =
+      match wopt with Some w -> [ w ] | None -> Suite.all @ Suite.extras
+    in
+    let models =
+      match mopt with
+      | Some (m : Model.t) ->
+          if not m.Model.executable then begin
+            Format.eprintf
+              "psb verify: model %s is estimate-only (no predicated code to \
+               verify)@."
+              m.Model.name;
+            exit 2
+          end;
+          [ m ]
+      | None ->
+          List.filter
+            (fun (m : Model.t) -> m.Model.executable)
+            (Model.trace_pred_counter :: Model.all)
+    in
+    let results =
+      List.concat_map
+        (fun (w : Dsl.t) ->
+          let program = preoptimize opt w.Dsl.program in
+          let _, profile =
+            Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+          in
+          List.map
+            (fun (model : Model.t) ->
+              (* compile unverified, then run the verifier ourselves: the
+                 point of this command is the report, not the exception
+                 the driver would turn it into *)
+              let compiled =
+                Driver.compile ~verify:false ~model ~machine ~profile program
+              in
+              let report =
+                match compiled.Driver.pcode with
+                | Some code -> Psb_verify.Verify.run machine code
+                | None -> assert false (* executable models emit pcode *)
+              in
+              (w, model, report))
+            models)
+        workloads
+    in
+    let failed =
+      List.exists (fun (_, _, r) -> not (Psb_verify.Verify.ok r)) results
+    in
+    if json then begin
+      let open Psb_obs.Json in
+      let doc =
+        obj
+          [
+            ("machine", String (Format.asprintf "%a" Machine_model.pp machine));
+            ("ok", Bool (not failed));
+            ( "results",
+              List
+                (List.map
+                   (fun ((w : Dsl.t), (m : Model.t), r) ->
+                     obj
+                       [
+                         ("workload", String w.Dsl.name);
+                         ("model", String m.Model.name);
+                         ("report", Psb_verify.Verify.to_json r);
+                       ])
+                   results) );
+          ]
+      in
+      print_endline (to_string doc)
+    end
+    else
+      List.iter
+        (fun ((w : Dsl.t), (m : Model.t), r) ->
+          Format.printf "%-10s %-16s %a@." w.Dsl.name m.Model.name
+            Psb_verify.Verify.pp r)
+        results;
+    if failed then exit 1
+  in
+  let wopt = Arg.(value & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD") in
+  let mopt =
+    Arg.(
+      value
+      & opt (some mconv) None
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"Verify only this executable model (default: all executable \
+                models).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON document instead of text.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles $(i,WORKLOAD) (default: every workload in the suite, \
+         demos included) for each executable model and runs the static \
+         speculation-safety verifier over the emitted predicated code: \
+         predicate well-formedness, shadow-register / store-buffer \
+         capacity, recovery soundness and WAW commit order (the catalogue \
+         lives in docs/INVARIANTS.md). One line per (workload, model) \
+         pair; violations are listed with their region, bundle and slot. \
+         Exits 1 if any check fails, 2 on usage errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "verify" ~man
+       ~doc:"Statically verify compiled code against the speculation-safety \
+             invariants")
+    Term.(const run $ wopt $ mopt $ issue_arg $ optimize_arg $ json)
+
 (* ----- experiments ----- *)
 
 let jobs_arg =
@@ -610,5 +727,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; compile_cmd; sim_cmd; speedup_cmd; trace_cmd;
-            timeline_cmd; profile_cmd; exec_cmd; pexec_cmd; experiments_cmd;
+            timeline_cmd; profile_cmd; verify_cmd; exec_cmd; pexec_cmd;
+            experiments_cmd;
           ]))

@@ -29,14 +29,15 @@ let add_machine b (m : Machine_model.t) =
        m.Machine_model.max_spec_conds m.Machine_model.transition_penalty
        m.Machine_model.sb_capacity m.Machine_model.dcache_ports)
 
-let key ~model ~machine ~single_shadow ~avoid_commit_deps ~profile program =
+let key ~model ~machine ~single_shadow ~avoid_commit_deps ~verify ~profile
+    program =
   let b = Buffer.create 2048 in
   Buffer.add_string b (Asm.print program);
   add_model b model;
   add_machine b machine;
   Buffer.add_string b
-    (Printf.sprintf "|single_shadow=%b|avoid_commit_deps=%b|profile="
-       single_shadow avoid_commit_deps);
+    (Printf.sprintf "|single_shadow=%b|avoid_commit_deps=%b|verify=%b|profile="
+       single_shadow avoid_commit_deps verify);
   Buffer.add_string b (Branch_predict.fingerprint profile);
   Digest.to_hex (Digest.string (Buffer.contents b))
 

@@ -15,7 +15,10 @@
       round-trips, so the text is a faithful content address);
     - every field of the {!Model.t} (not just its name);
     - every field of the {!Psb_machine.Machine_model.t};
-    - the [single_shadow] and [avoid_commit_deps] compile options;
+    - the [single_shadow], [avoid_commit_deps] and [verify] compile
+      options ([verify] does not change the emitted code, but a value
+      compiled with verification off has proved nothing — serving it to
+      a verified caller would skip the check silently);
     - the profile's {!Psb_cfg.Branch_predict.fingerprint}.
 
     The table is guarded by a mutex, so domains of a parallel sweep
@@ -34,6 +37,7 @@ val key :
   machine:Psb_machine.Machine_model.t ->
   single_shadow:bool ->
   avoid_commit_deps:bool ->
+  verify:bool ->
   profile:Psb_cfg.Branch_predict.t ->
   Psb_isa.Program.t ->
   key

@@ -21,7 +21,7 @@ let profile_of program ~regs ~mem =
   let trace = Trace.of_result program result in
   (result, Branch_predict.of_trace cfg trace)
 
-let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps
+let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~verify
     ~model ~machine ~profile program =
   let timed pass f =
     match metrics with
@@ -71,6 +71,20 @@ let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps
           Some code)
     else None
   in
+  (match pcode with
+  | Some code when verify ->
+      timed "verify" (fun () ->
+          let report = Psb_verify.Verify.run ~single_shadow machine code in
+          (match metrics with
+          | Some m -> Psb_verify.Verify.observe_metrics report m
+          | None -> ());
+          if not (Psb_verify.Verify.ok report) then
+            failwith
+              (Format.asprintf
+                 "Driver.compile: %s code fails speculation-safety \
+                  verification@.%a"
+                 model.Model.name Psb_verify.Verify.pp report))
+  | _ -> ());
   (match metrics with
   | None -> ()
   | Some m ->
@@ -90,17 +104,17 @@ let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps
   { model; machine; units; schedules; pcode }
 
 let compile ?metrics ?cache ?(single_shadow = true) ?(avoid_commit_deps = false)
-    ~model ~machine ~profile program =
+    ?(verify = true) ~model ~machine ~profile program =
   let build () =
-    compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~model ~machine
-      ~profile program
+    compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~verify ~model
+      ~machine ~profile program
   in
   match cache with
   | None -> build ()
   | Some cache ->
       let key =
         Compile_cache.key ~model ~machine ~single_shadow ~avoid_commit_deps
-          ~profile program
+          ~verify ~profile program
       in
       Compile_cache.find_or_compile cache key build
 

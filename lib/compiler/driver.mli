@@ -25,12 +25,21 @@ val compile :
   ?cache:compiled Compile_cache.t ->
   ?single_shadow:bool ->
   ?avoid_commit_deps:bool ->
+  ?verify:bool ->
   model:Model.t ->
   machine:Machine_model.t ->
   profile:Branch_predict.t ->
   Program.t ->
   compiled
-(** @raise Failure if any unit schedule fails validation. To compile an
+(** @raise Failure if any unit schedule fails validation, or — for
+    executable models, unless [verify:false] — if the emitted predicated
+    code fails the static speculation-safety verifier
+    ({!Psb_verify.Verify}; the failure message embeds the full
+    diagnostic report). [verify] defaults to [true]: every compile in
+    the tests and the bench proves its output safe; pass [verify:false]
+    only when the caller wants the raw (possibly unsafe) code, e.g. to
+    inspect a miscompile or to run the verifier itself with custom
+    reporting. To compile an
     optimised program, apply {!Transform.optimize} (and
     {!Transform.jump_thread}) {e before} profiling, so the training trace
     and the compiled code agree on block labels.

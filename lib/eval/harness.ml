@@ -16,6 +16,7 @@ type t = {
   entries : entry list;
   pool : Pool.t option;
   cache : Driver.compiled Compile_cache.t;
+  verify : bool;
 }
 
 let profile_workload (w : Dsl.t) =
@@ -30,13 +31,14 @@ let profile_workload (w : Dsl.t) =
            Interp.pp_outcome o));
   { workload = w; scalar; profile }
 
-let create ?(machine = Machine_model.base) ?(workloads = Suite.all) ?pool () =
+let create ?(machine = Machine_model.base) ?(workloads = Suite.all) ?pool
+    ?(verify = true) () =
   let entries =
     match pool with
     | Some p -> Pool.map_exn p profile_workload workloads
     | None -> List.map profile_workload workloads
   in
-  { machine; entries; pool; cache = Compile_cache.create () }
+  { machine; entries; pool; cache = Compile_cache.create (); verify }
 
 let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
 
@@ -50,8 +52,9 @@ let scalar_cycles e = e.scalar.Interp.cycles
 let compile t ?machine ?(single_shadow = true) ?(avoid_commit_deps = false)
     model e =
   let machine = Option.value machine ~default:t.machine in
-  Driver.compile ~cache:t.cache ~single_shadow ~avoid_commit_deps ~model
-    ~machine ~profile:e.profile e.workload.Dsl.program
+  Driver.compile ~cache:t.cache ~single_shadow ~avoid_commit_deps
+    ~verify:t.verify ~model ~machine ~profile:e.profile
+    e.workload.Dsl.program
 
 let estimated_cycles t ?machine model e =
   let compiled = compile t ?machine model e in

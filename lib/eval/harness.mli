@@ -35,13 +35,20 @@ type t = {
   entries : entry list;
   pool : Pool.t option;
   cache : Driver.compiled Compile_cache.t;
+  verify : bool;  (** statically verify every compile (default) *)
 }
 
 val create :
   ?machine:Machine_model.t -> ?workloads:Dsl.t list -> ?pool:Pool.t ->
-  unit -> t
+  ?verify:bool -> unit -> t
 (** With [pool], the per-workload profiling runs (scalar reference +
-    profile construction) execute as parallel tasks. *)
+    profile construction) execute as parallel tasks.
+
+    [verify] (default [true]) is threaded into every {!compile}: each
+    schedule an experiment uses has passed the static speculation-safety
+    verifier ({!Psb_verify.Verify}), so a figure can never be computed
+    from unsafe code. Pass [verify:false] to trade the safety net for
+    compile time in large exploratory sweeps ([bench --no-verify]). *)
 
 val jobs : t -> int
 (** Pool width; [1] when the harness is sequential. *)

@@ -12,3 +12,10 @@ let to_string c = Format.asprintf "%a" pp c
 
 module Set = Set.Make (Int)
 module Map = Map.Make (Int)
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp)
+    (Set.elements s)

@@ -19,3 +19,6 @@ val to_string : t -> string
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+val pp_set : Format.formatter -> Set.t -> unit
+(** Prints as [{c0,c2}]. *)

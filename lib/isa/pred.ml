@@ -20,6 +20,15 @@ let literals p = Cond.Map.bindings p
 let conds p = Cond.Map.fold (fun c _ acc -> Cond.Set.add c acc) p Cond.Set.empty
 let arity p = Cond.Map.cardinal p
 let requires p c = Cond.Map.find_opt c p
+let count_conds f p = Cond.Map.fold (fun c _ n -> if f c then n + 1 else n) p 0
+let max_cond p = Option.map fst (Cond.Map.max_binding_opt p)
+
+let flip p c =
+  match Cond.Map.find_opt c p with
+  | None ->
+      invalid_arg
+        (Format.asprintf "Pred.flip: %a not in predicate" Cond.pp c)
+  | Some v -> Cond.Map.add c (not v) p
 
 let eval p lookup =
   let exception Unspecified in

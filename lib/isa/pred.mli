@@ -38,6 +38,20 @@ val arity : t -> int
 val requires : t -> Cond.t -> bool option
 (** [requires p c] is [Some v] if [p] contains the literal [c = v]. *)
 
+val count_conds : (Cond.t -> bool) -> t -> int
+(** [count_conds f p] is the number of distinct conditions of [p]
+    satisfying [f] — e.g. the number of still-unresolved conditions at a
+    given cycle, the quantity bounded by [max_spec_conds]. *)
+
+val max_cond : t -> Cond.t option
+(** Highest condition referenced, or [None] for [alw]. Used to check a
+    predicate against the physical CCR width. *)
+
+val flip : t -> Cond.t -> t
+(** [flip p c] negates the polarity of the literal on [c], yielding a
+    predicate disjoint with [p] (they disagree on [c]).
+    @raise Invalid_argument if [p] does not mention [c]. *)
+
 val eval : t -> (Cond.t -> cond_value) -> value
 (** Hardware evaluation rule (§3.2): if any required condition is
     unspecified the result is [Unspec] regardless of the other literals;

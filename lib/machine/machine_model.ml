@@ -63,6 +63,12 @@ let full_issue ~width ~max_spec_conds =
     dcache_ports = width;
   }
 
+let ccr_size t = t.ccr_size
+let max_spec_conds t = t.max_spec_conds
+let sb_capacity t = t.sb_capacity
+let dcache_ports t = t.dcache_ports
+let shadow_capacity ~single_shadow _t = if single_shadow then 1 else max_int
+
 let latency t = function
   | Instr.Load _ -> t.load_latency
   | Instr.Alu _ | Instr.Mov _ | Instr.Store _ | Instr.Cmp _ | Instr.Setc _

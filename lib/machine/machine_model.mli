@@ -41,6 +41,33 @@ val scalar : t
 val full_issue : width:int -> max_spec_conds:int -> t
 (** Fully duplicated resources at the given issue width (Figure 8). *)
 
+(** {2 Capacity accessors}
+
+    Stable accessors for the buffering limits a compiled schedule must
+    respect, used by the static verifier ([Psb_verify.Verify]) so that
+    capacity checks name the limit they enforce rather than reaching into
+    record fields. *)
+
+val ccr_size : t -> int
+(** Number of physical CCR entries [K]; every condition a region names
+    must index below this. *)
+
+val max_spec_conds : t -> int
+(** Maximum number of unresolved branch conditions an instruction's
+    predicate may carry at issue. *)
+
+val sb_capacity : t -> int
+(** Predicated store-buffer entries available to buffer speculative and
+    retiring stores. *)
+
+val dcache_ports : t -> int
+(** Store-buffer entries drained to the D-cache per cycle. *)
+
+val shadow_capacity : single_shadow:bool -> t -> int
+(** Speculative (shadow) versions storable per architectural register:
+    1 under the paper's single-shadow register file, unbounded
+    ([max_int]) for the infinite ablation. *)
+
 val latency : t -> Instr.op -> int
 
 type unit_class = Alu_unit | Branch_unit | Load_unit | Store_unit

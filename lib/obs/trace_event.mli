@@ -3,7 +3,7 @@
 
     The builder is deliberately generic — tracks are named lanes, spans
     have a start and a duration, instants are point markers, counters are
-    sampled series. The machine-specific adapter ({!Psb_machine.Vliw_trace})
+    sampled series. The machine-specific adapter ([Psb_machine.Vliw_trace])
     maps simulator events onto tracks; this module only owns the format.
 
     Timestamps are in simulated cycles; one cycle is rendered as one

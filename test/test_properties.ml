@@ -228,40 +228,30 @@ let prop_cache_keys_distinct =
           Machine_model.full_issue ~width:8 ~max_spec_conds:8;
         ]
       in
-      let keys =
+      let all_keys () =
         List.concat_map
           (fun model ->
             List.concat_map
               (fun machine ->
                 List.concat_map
                   (fun single_shadow ->
-                    List.map
+                    List.concat_map
                       (fun avoid_commit_deps ->
-                        Compile_cache.key ~model ~machine ~single_shadow
-                          ~avoid_commit_deps ~profile program)
+                        List.map
+                          (fun verify ->
+                            Compile_cache.key ~model ~machine ~single_shadow
+                              ~avoid_commit_deps ~verify ~profile program)
+                          [ true; false ])
                       [ true; false ])
                   [ true; false ])
               machines)
           (Model.trace_pred_counter :: Model.all)
       in
+      let keys = all_keys () in
       (* every (model × machine × flags) combination keys differently,
          and the key is a pure function of its inputs *)
       List.length (List.sort_uniq compare keys) = List.length keys
-      && keys
-         = List.concat_map
-             (fun model ->
-               List.concat_map
-                 (fun machine ->
-                   List.concat_map
-                     (fun single_shadow ->
-                       List.map
-                         (fun avoid_commit_deps ->
-                           Compile_cache.key ~model ~machine ~single_shadow
-                             ~avoid_commit_deps ~profile program)
-                         [ true; false ])
-                     [ true; false ])
-                 machines)
-             (Model.trace_pred_counter :: Model.all))
+      && keys = all_keys ())
 
 let prop_cache_program_sensitivity =
   (* two different random programs (their canonical text differs) must
@@ -274,10 +264,24 @@ let prop_cache_program_sensitivity =
         (Asm.print g1.Gen_programs.program <> Asm.print g2.Gen_programs.program);
       let k g =
         Compile_cache.key ~model:Model.region_pred ~machine
-          ~single_shadow:true ~avoid_commit_deps:false ~profile:(profile_of g)
-          g.Gen_programs.program
+          ~single_shadow:true ~avoid_commit_deps:false ~verify:true
+          ~profile:(profile_of g) g.Gen_programs.program
       in
       k g1 <> k g2)
+
+let prop_cache_verify_flag_regression =
+  (* regression: a schedule compiled with verification off must never be
+     served from the cache to a verified compile — the flags key apart *)
+  QCheck.Test.make ~name:"verify flag keys apart" ~count:40
+    Gen_programs.arb_program (fun g ->
+      let program = g.Gen_programs.program in
+      let profile = profile_of g in
+      let k verify =
+        Compile_cache.key ~model:Model.region_pred ~machine
+          ~single_shadow:true ~avoid_commit_deps:false ~verify ~profile
+          program
+      in
+      k true <> k false)
 
 let () =
   Alcotest.run "properties"
@@ -304,5 +308,6 @@ let () =
             prop_cache_hit_equals_fresh;
             prop_cache_keys_distinct;
             prop_cache_program_sensitivity;
+            prop_cache_verify_flag_regression;
           ] );
     ]
