@@ -8,8 +8,10 @@
      dune exec bench/main.exe -- --json         # everything, as one JSON
                                                 # document (Report schema)
      dune exec bench/main.exe -- --json fig6    # a subset, as JSON
-     dune exec bench/main.exe -- bechamel       # Bechamel timings of the
-                                                # regeneration of each table
+     dune exec bench/main.exe -- bechamel       # Bechamel timings: table
+                                                # regeneration + kernels
+     dune exec bench/main.exe -- bechamel --json pred_kernel
+                                                # one bench group, as JSON
 
    -j N / --jobs N (default: physical cores) shards the experiment cells
    over a work-stealing domain pool; the experiments member of --json
@@ -116,30 +118,168 @@ let run_all () =
       Format.printf "@.@.")
     experiments
 
-(* Bechamel timings: one Test.make per table/figure, timing its full
-   regeneration against a null formatter. *)
-let run_bechamel () =
+(* ----- pred_kernel microbenches -----
+
+   Per-cycle predicate evaluation: the compiled bitmask kernel vs the
+   reference map walk, on the two structures that re-evaluate predicates
+   every cycle (register-file versions, store-buffer entries). All
+   predicates mention only unspecified conditions so every tick stays
+   Unspec and the timed state survives arbitrarily many iterations;
+   [gated] variants pass [dirty:0] to measure the skip fast path. *)
+module Pred_bench = struct
+  open Psb_isa
+  module Regfile = Psb_machine.Regfile
+  module Store_buffer = Psb_machine.Store_buffer
+  module Ccr = Psb_machine.Ccr
+  module Pred_kernel = Psb_machine.Pred_kernel
+
+  let entries = 16
+
+  let pred i =
+    Pred.of_list
+      [ (Cond.make (i mod 4), true); (Cond.make (4 + (i mod 4)), i mod 2 = 0) ]
+
+  let ccr = lazy (Ccr.create ~width:8)
+
+  let rf =
+    lazy
+      (let rf = Regfile.create ~mode:Regfile.Single ~nregs:entries () in
+       for i = 0 to entries - 1 do
+         match
+           Regfile.write_spec rf (Reg.make i) i
+             ~cpred:(Pred.compile (pred i)) ~fault:None
+         with
+         | `Ok -> ()
+         | `Conflict -> assert false
+       done;
+       rf)
+
+  let sb =
+    lazy
+      (let sb = Store_buffer.create () in
+       for i = 0 to entries - 1 do
+         Store_buffer.append sb ~addr:i ~value:i
+           ~cpred:(Pred.compile (pred i)) ~spec:true ~fault:None
+       done;
+       sb)
+
+  let tests () =
+    let open Bechamel in
+    let t name f = Test.make ~name (Staged.stage f) in
+    let rf_tick ~mode ~dirty () =
+      ignore (Regfile.tick ~mode ~dirty (Lazy.force rf) (Lazy.force ccr))
+    and sb_tick ~mode ~dirty () =
+      ignore (Store_buffer.tick ~mode ~dirty (Lazy.force sb) (Lazy.force ccr))
+    in
+    let cp = lazy (Pred.compile (pred 0)) in
+    Test.make_grouped ~name:"pred_kernel"
+      [
+        t "eval/mask" (fun () ->
+            ignore (Ccr.evalc (Lazy.force ccr) (Lazy.force cp)));
+        t "eval/map" (fun () ->
+            ignore (Ccr.eval (Lazy.force ccr) (pred 0)));
+        t "rf_tick/mask" (rf_tick ~mode:Pred_kernel.Mask ~dirty:(-1));
+        t "rf_tick/mask_gated" (rf_tick ~mode:Pred_kernel.Mask ~dirty:0);
+        t "rf_tick/map" (rf_tick ~mode:Pred_kernel.Map ~dirty:(-1));
+        t "sb_tick/mask" (sb_tick ~mode:Pred_kernel.Mask ~dirty:(-1));
+        t "sb_tick/mask_gated" (sb_tick ~mode:Pred_kernel.Mask ~dirty:0);
+        t "sb_tick/map" (sb_tick ~mode:Pred_kernel.Map ~dirty:(-1));
+      ]
+end
+
+(* Bechamel timings. Groups: [experiments] times the full regeneration of
+   each table/figure against a null formatter; [pred_kernel] times the
+   per-cycle predicate-evaluation kernels. *)
+let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
+  [
+    ( "experiments",
+      fun () ->
+        let open Bechamel in
+        let null_ppf = Format.make_formatter (fun _ _ _ -> ()) ignore in
+        Test.make_grouped ~name:"experiments"
+          (List.map
+             (fun (name, _, f) ->
+               Test.make ~name (Staged.stage (fun () -> f null_ppf)))
+             experiments) );
+    ("pred_kernel", Pred_bench.tests);
+  ]
+
+let bench_usage_error name =
+  Format.eprintf "unknown bench group %s; available: %s@." name
+    (String.concat " " (List.map fst bench_groups));
+  exit 2
+
+(* [(test name, ns/run, minor words/run)] rows of one group. *)
+let bench_group name =
   let open Bechamel in
-  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) ignore in
-  let tests =
-    List.map
-      (fun (name, _, f) -> Test.make ~name (Staged.stage (fun () -> f null_ppf)))
-      experiments
+  let mk =
+    match List.assoc_opt name bench_groups with
+    | Some mk -> mk
+    | None -> bench_usage_error name
   in
-  let test = Test.make_grouped ~name:"experiments" tests in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
-  let raw = Benchmark.all cfg instances test in
+  let raw = Benchmark.all cfg instances (mk ()) in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  let estimate instance n =
+    match Analyze.OLS.estimates (Analyze.one ols instance (Hashtbl.find raw n)) with
+    | Some [ est ] -> est
+    | Some _ | None -> Float.nan
+  in
+  Hashtbl.fold (fun n _ acc -> n :: acc) raw []
   |> List.sort compare
-  |> List.iter (fun (name, result) ->
-         match Analyze.OLS.estimates result with
-         | Some [ est ] -> Format.printf "%-40s %14.0f ns/run@." name est
-         | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
+  |> List.map (fun n ->
+         ( n,
+           estimate Toolkit.Instance.monotonic_clock n,
+           estimate Toolkit.Instance.minor_allocated n ))
+
+let run_bechamel ~json names =
+  let names = if names = [] then List.map fst bench_groups else names in
+  List.iter
+    (fun n -> if not (List.mem_assoc n bench_groups) then bench_usage_error n)
+    names;
+  let groups = List.map (fun n -> (n, bench_group n)) names in
+  if json then
+    let doc =
+      Psb_obs.Json.obj
+        [
+          ("schema", Psb_obs.Json.String "psb-bechamel-v1");
+          ( "groups",
+            Psb_obs.Json.List
+              (List.map
+                 (fun (name, rows) ->
+                   Psb_obs.Json.obj
+                     [
+                       ("name", Psb_obs.Json.String name);
+                       ( "results",
+                         Psb_obs.Json.List
+                           (List.map
+                              (fun (n, ns, words) ->
+                                Psb_obs.Json.obj
+                                  [
+                                    ("name", Psb_obs.Json.String n);
+                                    ("ns_per_run", Psb_obs.Json.Float ns);
+                                    ( "minor_words_per_run",
+                                      Psb_obs.Json.Float words );
+                                  ])
+                              rows) );
+                     ])
+                 groups) );
+        ]
+    in
+    print_endline (Psb_obs.Json.to_string doc)
+  else
+    List.iter
+      (fun (name, rows) ->
+        Format.printf "== %s ==@." name;
+        List.iter
+          (fun (n, ns, words) ->
+            Format.printf "%-40s %14.1f ns/run %10.1f mw/run@." n ns words)
+          rows;
+        Format.printf "@.")
+      groups
 
 let run_json names =
   let names = if names = [] then Report.experiment_names else names in
@@ -185,6 +325,12 @@ let () =
     (fun () ->
       match args with
       | [] -> run_all ()
-      | [ "bechamel" ] -> run_bechamel ()
+      | "bechamel" :: rest ->
+          let json, names =
+            match rest with
+            | "--json" :: names -> (true, names)
+            | names -> (false, names)
+          in
+          run_bechamel ~json names
       | "--json" :: names -> run_json names
       | names -> List.iter run_one names)

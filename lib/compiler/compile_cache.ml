@@ -29,9 +29,15 @@ let add_machine b (m : Machine_model.t) =
        m.Machine_model.max_spec_conds m.Machine_model.transition_penalty
        m.Machine_model.sb_capacity m.Machine_model.dcache_ports)
 
+(* Bumped whenever the [Driver.compiled] representation changes shape
+   (v2: pcode slots carry compiled predicate masks), so a process mixing
+   library versions through a shared cache can never alias keys. *)
+let format_version = 2
+
 let key ~model ~machine ~single_shadow ~avoid_commit_deps ~verify ~profile
     program =
   let b = Buffer.create 2048 in
+  Buffer.add_string b (Printf.sprintf "v%d|" format_version);
   Buffer.add_string b (Asm.print program);
   add_model b model;
   add_machine b machine;

@@ -60,6 +60,7 @@ val estimate_cycles : compiled -> Program.t -> block_trace:Label.t list -> int
 
 val run_vliw :
   ?regfile_mode:Psb_machine.Regfile.mode ->
+  ?pred_kernel:Psb_machine.Pred_kernel.mode ->
   ?on_event:(int -> Vliw_sim.event -> unit) ->
   ?metrics:Psb_obs.Metrics.t ->
   compiled ->
@@ -67,7 +68,8 @@ val run_vliw :
   mem:Memory.t ->
   Vliw_sim.result
 (** Execute the compiled predicated code on the machine simulator;
-    [on_event] and [metrics] are passed through to {!Vliw_sim.run}.
+    [pred_kernel], [on_event] and [metrics] are passed through to
+    {!Vliw_sim.run}.
     @raise Invalid_argument if the model is not executable. *)
 
 val code_size : compiled -> int

@@ -61,10 +61,13 @@ let estimated_cycles t ?machine model e =
   Driver.estimate_cycles compiled e.workload.Dsl.program
     ~block_trace:e.scalar.Interp.block_trace
 
-let measured t ?(single_shadow = true) ?regfile_mode model e =
+let measured t ?(single_shadow = true) ?regfile_mode ?pred_kernel model e =
   let compiled = compile t ~single_shadow model e in
   let mem = e.workload.Dsl.make_mem () in
-  let res = Driver.run_vliw ?regfile_mode compiled ~regs:e.workload.Dsl.regs ~mem in
+  let res =
+    Driver.run_vliw ?regfile_mode ?pred_kernel compiled
+      ~regs:e.workload.Dsl.regs ~mem
+  in
   if
     not
       (res.Vliw_sim.outcome = Interp.Halted

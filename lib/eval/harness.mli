@@ -74,10 +74,13 @@ val estimated_cycles :
 (** Trace-driven accounting on the model's schedules. *)
 
 val measured : t -> ?single_shadow:bool ->
-  ?regfile_mode:Psb_machine.Regfile.mode -> Model.t -> entry ->
+  ?regfile_mode:Psb_machine.Regfile.mode ->
+  ?pred_kernel:Psb_machine.Pred_kernel.mode -> Model.t -> entry ->
   Vliw_sim.result
 (** Run the compiled code on the machine simulator (executable models).
-    Also asserts observable equivalence with the scalar reference. *)
+    Also asserts observable equivalence with the scalar reference.
+    [pred_kernel] selects the per-cycle predicate evaluation kernel
+    (see {!Psb_machine.Pred_kernel}). *)
 
 val speedup : scalar:int -> cycles:int -> float
 

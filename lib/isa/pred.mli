@@ -32,6 +32,13 @@ val literals : t -> (Cond.t * bool) list
 (** Sorted by condition index. *)
 
 val conds : t -> Cond.Set.t
+
+val fold_conds : (Cond.t -> bool -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the literals in condition order, without materialising a
+    set or list (the allocation-free counterpart of {!conds}). *)
+
+val iter_conds : (Cond.t -> bool -> unit) -> t -> unit
+
 val arity : t -> int
 (** Number of branch conditions the predicate depends on. *)
 
@@ -55,7 +62,10 @@ val flip : t -> Cond.t -> t
 val eval : t -> (Cond.t -> cond_value) -> value
 (** Hardware evaluation rule (§3.2): if any required condition is
     unspecified the result is [Unspec] regardless of the other literals;
-    otherwise [True] iff every literal matches. *)
+    otherwise [True] iff every literal matches. The rule is a pure
+    function of the literal {e set} — deliberately independent of the
+    predicate's internal representation — so the compiled mask kernel
+    ({!Ccr.evalc}) reproduces it bit-exactly. *)
 
 val eval_early_false : t -> (Cond.t -> cond_value) -> value
 (** Stricter rule used in ablations: a single mismatching specified literal
@@ -80,6 +90,36 @@ val rename : (Cond.t -> Cond.t) -> t -> t
     physical CCR entries of a region).
     @raise Invalid_argument if the renaming merges two literals with
     opposite polarities. *)
+
+val word_bits : int
+(** Number of condition indices a single packed word covers
+    ([Sys.int_size]). *)
+
+type compiled = private {
+  c_source : t;  (** the predicate this was compiled from *)
+  c_mask : int;  (** bit [i] set iff condition [i] is mentioned *)
+  c_want : int;  (** required value of every mentioned bit *)
+  c_wide : (int array * int array) option;
+      (** [(masks, wants)] per word for predicates reaching condition
+          indices [>= word_bits]; word 0 aliases [c_mask]/[c_want].
+          [None] for the (overwhelmingly common) single-word case. *)
+}
+(** A predicate compiled to the paper's ternary-mask comparator form
+    (§4.2.1): one required/mentioned bit pair per condition, so that
+    evaluation against a packed CCR is a handful of word operations with
+    zero allocation. Compiled once per static instruction (at pcode
+    construction); evaluated every cycle by {!Ccr}-side hardware mirrors. *)
+
+val compile : t -> compiled
+
+val compiled_always : compiled
+(** [compile always], shared. *)
+
+val source : compiled -> t
+
+val compiled_fits : width:int -> compiled -> bool
+(** Whether every mentioned condition index is [< width] — the mask form
+    of the CCR-width check ([mask land ones(width) = mask]). *)
 
 val to_vector : width:int -> t -> string
 (** Ternary-vector encoding over CCR entries [0 .. width-1], e.g. ["1X0"].

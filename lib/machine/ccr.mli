@@ -1,6 +1,12 @@
 (** Condition code register: [K] branch conditions, each true, false or
     unspecified. Conditions are region-local: {!reset} is applied by the
-    hardware on every region transition (§3.3). *)
+    hardware on every region transition (§3.3).
+
+    Storage is packed — one [specified] and one [values] bit per
+    condition — so a {!Psb_isa.Pred.compiled} predicate evaluates via
+    {!evalc} in a handful of word operations, mirroring the per-entry
+    ternary-mask comparators of §4.2.1. Widths beyond
+    [Pred.word_bits] spill into overflow words transparently. *)
 
 open Psb_isa
 
@@ -22,5 +28,21 @@ val lookup : t -> Cond.t -> Pred.cond_value
 (** Same as {!get}; shaped for {!Pred.eval}. *)
 
 val eval : t -> Pred.t -> Pred.value
+(** Reference (map-walk) evaluation; counts into {!evals_map}. *)
+
+val evalc : t -> Pred.compiled -> Pred.value
+(** Mask evaluation against the packed words: [Unspec] if any mentioned
+    condition is unspecified, else [True] iff all values match. Zero
+    allocation; counts into {!evals_mask}. A condition beyond the CCR
+    width reads as unspecified (the compiler and verifier reject such
+    predicates before they reach the machine). *)
+
 val all_specified : t -> Pred.t -> bool
+val all_specified_c : t -> Pred.compiled -> bool
+(** Mask form: [mask land specified = mask], per word. *)
+
+val evals_mask : t -> int
+val evals_map : t -> int
+(** Evaluation counts since {!create}, by kernel, for observability. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,9 +1,18 @@
 open Psb_isa
 
-type pinstr = { pred : Pred.t; op : Instr.op; shadow_srcs : Reg.Set.t }
+type pinstr = {
+  pred : Pred.t;
+  cpred : Pred.compiled;
+  op : Instr.op;
+  shadow_srcs : Reg.Set.t;
+}
+
 type exit_target = To_region of Label.t | Stop
 
-type slot = Op of pinstr | Exit of { pred : Pred.t; target : exit_target }
+type slot =
+  | Op of pinstr
+  | Exit of { pred : Pred.t; cpred : Pred.compiled; target : exit_target }
+
 type bundle = slot list
 
 type region = {
@@ -14,11 +23,22 @@ type region = {
 
 type t = { entry : Label.t; regions : region list }
 
-let op ?(shadow_srcs = Reg.Set.empty) pred op = Op { pred; op; shadow_srcs }
-let exit_to pred l = Exit { pred; target = To_region l }
-let exit_stop pred = Exit { pred; target = Stop }
+(* Predicates compile to their mask form once, here, when a slot is
+   built — the software analogue of loading a region's ternary vectors
+   into the per-entry comparators. *)
+let op ?(shadow_srcs = Reg.Set.empty) pred op =
+  Op { pred; cpred = Pred.compile pred; op; shadow_srcs }
+
+let exit_to pred l =
+  Exit { pred; cpred = Pred.compile pred; target = To_region l }
+
+let exit_stop pred = Exit { pred; cpred = Pred.compile pred; target = Stop }
 
 let slot_pred = function Op { pred; _ } -> pred | Exit { pred; _ } -> pred
+
+let slot_cpred = function
+  | Op { cpred; _ } -> cpred
+  | Exit { cpred; _ } -> cpred
 
 (* The last bundle must offer a way out. The exits of a region need not
    include an always-exit: as in Figure 4, a set of predicated exits whose
@@ -103,9 +123,7 @@ let check_resources model t =
         let bad_pred =
           List.exists
             (fun s ->
-              Cond.Set.exists
-                (fun c -> Cond.index c >= model.M.ccr_size)
-                (Pred.conds (slot_pred s)))
+              not (Pred.compiled_fits ~width:model.M.ccr_size (slot_cpred s)))
             bundle
         in
         if bad_pred then
@@ -125,7 +143,7 @@ let check_resources model t =
     (Ok ()) t.regions
 
 let pp_slot ppf = function
-  | Op { pred; op; shadow_srcs } ->
+  | Op { pred; op; shadow_srcs; _ } ->
       Format.fprintf ppf "%a ? %a" Pred.pp pred Instr.pp_op op;
       if not (Reg.Set.is_empty shadow_srcs) then
         Format.fprintf ppf " [shadow:%a]"
@@ -133,9 +151,10 @@ let pp_slot ppf = function
              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
              Reg.pp)
           (Reg.Set.elements shadow_srcs)
-  | Exit { pred; target = To_region l } ->
+  | Exit { pred; target = To_region l; _ } ->
       Format.fprintf ppf "%a ? j %a" Pred.pp pred Label.pp l
-  | Exit { pred; target = Stop } -> Format.fprintf ppf "%a ? halt" Pred.pp pred
+  | Exit { pred; target = Stop; _ } ->
+      Format.fprintf ppf "%a ? halt" Pred.pp pred
 
 let pp_region ppf r =
   Format.fprintf ppf "@[<v>region %a:@," Label.pp r.name;

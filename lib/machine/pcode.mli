@@ -11,6 +11,9 @@ open Psb_isa
 
 type pinstr = {
   pred : Pred.t;
+  cpred : Pred.compiled;
+      (** [pred] compiled to mask form, once, at slot construction — what
+          the machine's per-cycle paths evaluate *)
   op : Instr.op;
   shadow_srcs : Reg.Set.t;
       (** source registers the instruction fetches from the speculative
@@ -22,7 +25,7 @@ type exit_target = To_region of Label.t | Stop
 
 type slot =
   | Op of pinstr
-  | Exit of { pred : Pred.t; target : exit_target }
+  | Exit of { pred : Pred.t; cpred : Pred.compiled; target : exit_target }
 
 type bundle = slot list
 
@@ -51,6 +54,7 @@ val num_slots : t -> int
 val num_bundles : t -> int
 
 val slot_pred : slot -> Pred.t
+val slot_cpred : slot -> Pred.compiled
 
 val check_resources : Machine_model.t -> t -> (unit, string) result
 (** Every bundle must fit the machine's issue width and function units,

@@ -1,0 +1,20 @@
+(** Which predicate-evaluation kernel the machine's per-cycle paths use.
+
+    [Mask] — the default — evaluates {!Psb_isa.Pred.compiled} bitmasks
+    against the packed CCR mirror: allocation-free, no exceptions, and
+    eligible for dirty-condition gating in the commit/squash tick.
+
+    [Map] is the reference path: every evaluation walks the predicate's
+    [Cond.Map] through {!Psb_isa.Pred.eval} and nothing is gated. It
+    exists for differential testing and for the [PSB_PRED_KERNEL=map]
+    environment toggle (read once at startup into {!default}); both
+    kernels must produce identical cycle counts and results. *)
+
+type mode = Mask | Map
+
+val default : mode
+(** [Mask], unless the environment sets [PSB_PRED_KERNEL=map]. *)
+
+val of_string : string -> mode option
+val to_string : mode -> string
+val pp : Format.formatter -> mode -> unit

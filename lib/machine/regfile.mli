@@ -10,7 +10,13 @@
     Two capacity models: [Single] (the paper's cost-reduced design — a
     second same-register speculative write with a different predicate is a
     {e storage conflict} and must stall, footnote 1) and [Infinite]
-    (the idealised design used to bound the cost of that choice). *)
+    (the idealised design used to bound the cost of that choice).
+
+    Buffered versions carry {e compiled} predicates
+    ({!Psb_isa.Pred.compiled}); the per-cycle {!tick} evaluates them as
+    bitmasks against the packed {!Ccr} — the software mirror of the
+    paper's per-entry predicate hardware — and can skip entries whose
+    masks do not intersect the conditions written since the last tick. *)
 
 open Psb_isa
 
@@ -37,24 +43,37 @@ val read_fault : t -> Reg.t -> shadow:bool -> pred:Pred.t -> Fault.t option
 val write_seq : t -> Reg.t -> int -> unit
 
 val write_spec :
-  t -> Reg.t -> int -> pred:Pred.t -> fault:Fault.t option ->
+  t -> Reg.t -> int -> cpred:Pred.compiled -> fault:Fault.t option ->
   [ `Ok | `Conflict ]
-(** Speculative write: buffer the value with its predicate; sets V, and E
-    when [fault] is given. [`Conflict] (single-shadow model only) when a
-    valid speculative value with a different predicate already occupies the
-    entry — the machine must stall the writer. *)
+(** Speculative write: buffer the value with its (compiled) predicate;
+    sets V, and E when [fault] is given. [`Conflict] (single-shadow model
+    only) when a valid speculative value with a different predicate
+    already occupies the entry — the machine must stall the writer. *)
 
 val committing_exceptions :
   t -> (Cond.t -> Pred.cond_value) -> (Reg.t * Fault.t) list
 (** Buffered exceptions whose predicate evaluates true under the given
-    (tentative) CCR — the detection signal of §3.5. *)
+    (tentative) CCR — the detection signal of §3.5. Takes a lookup
+    closure, not a CCR, because detection evaluates hypothetical states
+    (pending condition writes, the future CCR); returns immediately when
+    no version carries a fault. *)
 
-val tick : t -> (Cond.t -> Pred.cond_value) -> (Reg.t * [ `Commit | `Squash ]) list
+val tick :
+  ?mode:Pred_kernel.mode -> ?dirty:int ->
+  t -> Ccr.t -> (Reg.t * [ `Commit | `Squash ]) list
 (** Evaluate every valid speculative entry: true → commit (copy to
     sequential state, clear V), false → squash (clear V). Returns what
     happened, in register order, for event tracing. Entries with E must
     have been intercepted by {!committing_exceptions} first; a committing
-    entry with E set is an internal error. *)
+    entry with E set is an internal error.
+
+    [dirty] is the word-0 bitmask of conditions written since the last
+    tick (default [-1]: everything dirty). Under the [Mask] kernel a
+    version whose mask does not intersect [dirty] is still [Unspec] —
+    it was Unspec when buffered or last examined and none of its
+    conditions changed — and is skipped without evaluation. Callers that
+    wrote a condition at index [>= Pred.word_bits], or replaced the CCR
+    wholesale, must pass [-1]. The [Map] kernel examines everything. *)
 
 val invalidate_spec : t -> unit
 (** Clear all speculative state (on exception detection and region exit). *)
@@ -66,5 +85,17 @@ val conflicts : t -> int
 val spec_writes : t -> int
 val commits : t -> int
 val squashes : t -> int
+
+val buffered_faults : t -> int
+(** Versions currently carrying a buffered exception (E set). *)
+
+val tick_examined : t -> int
+val tick_skipped : t -> int
+(** Versions evaluated vs skipped by dirty-mask gating across all ticks. *)
+
+val debug_recount : t -> int * int
+(** [(live versions, versions with E)] recounted by full scan — test
+    oracle for the incremental counters. *)
+
 val final_state : t -> int Reg.Map.t
 (** Sequential values of registers ever written. *)

@@ -3,108 +3,245 @@ open Psb_isa
 type entry = {
   addr : int;
   value : int;
-  pred : Pred.t;
+  cpred : Pred.compiled;
   mutable spec : bool; (* W *)
   mutable valid : bool; (* V *)
+  mutable examined : bool;
+      (* seen by at least one tick — a fresh entry may have been appended
+         with an already-decided predicate, so it is never dirty-gated
+         before its first examination *)
   fault : Fault.t option; (* E *)
 }
 
+(* A growable ring: [buf.(wrap (head + i))] for [i < count] are the live
+   entries, oldest first. Appends are O(1) amortised (the old list
+   representation paid an O(n) [entries @ [e]] per append), drains pop at
+   the head, and iteration walks indices — no per-cycle allocation. *)
 type t = {
-  mutable entries : entry list; (* oldest (head) first *)
+  mutable buf : entry array;
+  mutable head : int;
+  mutable count : int;
   mutable max_occupancy : int;
   mutable spec_appends : int;
   mutable commits : int;
   mutable squashes : int;
+  (* live-state tracking, mirroring Regfile: [spec_live] entries still
+     awaiting their predicate (tick returns immediately at zero),
+     [faults] of them with a buffered exception. *)
+  mutable spec_live : int;
+  mutable faults : int;
+  (* tick accounting for lib/obs *)
+  mutable tick_examined : int;
+  mutable tick_skipped : int;
 }
 
+let dummy =
+  {
+    addr = 0;
+    value = 0;
+    cpred = Pred.compiled_always;
+    spec = false;
+    valid = false;
+    examined = true;
+    fault = None;
+  }
+
+let initial_capacity = 16
+
 let create () =
-  { entries = []; max_occupancy = 0; spec_appends = 0; commits = 0; squashes = 0 }
+  {
+    buf = Array.make initial_capacity dummy;
+    head = 0;
+    count = 0;
+    max_occupancy = 0;
+    spec_appends = 0;
+    commits = 0;
+    squashes = 0;
+    spec_live = 0;
+    faults = 0;
+    tick_examined = 0;
+    tick_skipped = 0;
+  }
 
-let append t ~addr ~value ~pred ~spec ~fault =
-  let e = { addr; value; pred; spec; valid = true; fault } in
-  t.entries <- t.entries @ [ e ];
-  if spec then t.spec_appends <- t.spec_appends + 1;
-  t.max_occupancy <- max t.max_occupancy (List.length t.entries)
+let nth t i = t.buf.((t.head + i) mod Array.length t.buf)
 
-let tick t lookup =
-  List.filter_map
-    (fun e ->
-      if e.spec && e.valid then
-        match Pred.eval e.pred lookup with
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) dummy in
+  for i = 0 to t.count - 1 do
+    buf.(i) <- nth t i
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let is_live_spec e = e.spec && e.valid
+
+let count_fault e = if e.fault <> None then 1 else 0
+
+let append t ~addr ~value ~cpred ~spec ~fault =
+  if t.count = Array.length t.buf then grow t;
+  let e = { addr; value; cpred; spec; valid = true; examined = false; fault } in
+  t.buf.((t.head + t.count) mod Array.length t.buf) <- e;
+  t.count <- t.count + 1;
+  if spec then begin
+    t.spec_appends <- t.spec_appends + 1;
+    t.spec_live <- t.spec_live + 1;
+    t.faults <- t.faults + count_fault e
+  end;
+  if t.count > t.max_occupancy then t.max_occupancy <- t.count
+
+let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
+  if t.spec_live = 0 then []
+  else begin
+    let events = ref [] in
+    for i = 0 to t.count - 1 do
+      let e = nth t i in
+      if is_live_spec e then begin
+        let value =
+          match mode with
+          | Pred_kernel.Map ->
+              t.tick_examined <- t.tick_examined + 1;
+              Ccr.eval ccr (Pred.source e.cpred)
+          | Pred_kernel.Mask ->
+              if
+                e.examined
+                && e.cpred.Pred.c_wide = None
+                && e.cpred.Pred.c_mask land dirty = 0
+              then begin
+                t.tick_skipped <- t.tick_skipped + 1;
+                Pred.Unspec
+              end
+              else begin
+                t.tick_examined <- t.tick_examined + 1;
+                e.examined <- true;
+                Ccr.evalc ccr e.cpred
+              end
+        in
+        match value with
         | Pred.True ->
             assert (e.fault = None);
             t.commits <- t.commits + 1;
             e.spec <- false;
-            Some (e.addr, `Commit)
+            t.spec_live <- t.spec_live - 1;
+            events := (e.addr, `Commit) :: !events
         | Pred.False ->
             t.squashes <- t.squashes + 1;
             e.valid <- false;
-            Some (e.addr, `Squash)
-        | Pred.Unspec -> None
-      else None)
-    t.entries
+            t.spec_live <- t.spec_live - 1;
+            t.faults <- t.faults - count_fault e;
+            events := (e.addr, `Squash) :: !events
+        | Pred.Unspec -> ()
+      end
+    done;
+    List.rev !events
+  end
 
 let committing_exceptions t lookup =
-  List.filter_map
-    (fun e ->
+  if t.faults = 0 then []
+  else begin
+    let acc = ref [] in
+    for i = t.count - 1 downto 0 do
+      let e = nth t i in
       match e.fault with
-      | Some f when e.spec && e.valid && Pred.eval e.pred lookup = Pred.True ->
-          Some f
-      | Some _ | None -> None)
-    t.entries
+      | Some f
+        when is_live_spec e && Pred.eval (Pred.source e.cpred) lookup = Pred.True
+        ->
+          acc := f :: !acc
+      | Some _ | None -> ()
+    done;
+    !acc
+  end
+
+let pop_head t =
+  t.buf.(t.head) <- dummy;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.count <- t.count - 1
 
 let drain t ~max:limit mem =
   let written = ref 0 in
-  let rec go entries =
-    match entries with
-    | [] -> []
-    | e :: rest ->
-        if not e.valid then go rest (* squashed: free discard *)
-        else if e.spec || !written >= limit then entries
-        else begin
-          (match e.fault with
-          | Some (Fault.Mem f) -> raise (Memory.Fault f)
-          | Some (Fault.Arith _) | None -> ());
-          Memory.write mem e.addr e.value;
-          incr written;
-          go rest
-        end
-  in
-  t.entries <- go t.entries;
+  let continue = ref true in
+  while !continue && t.count > 0 do
+    let e = t.buf.(t.head) in
+    if not e.valid then pop_head t (* squashed: free discard *)
+    else if e.spec || !written >= limit then continue := false
+    else begin
+      (match e.fault with
+      | Some (Fault.Mem f) -> raise (Memory.Fault f)
+      | Some (Fault.Arith _) | None -> ());
+      Memory.write mem e.addr e.value;
+      incr written;
+      pop_head t
+    end
+  done;
   !written
 
 let drain_all t mem =
   ignore (drain t ~max:max_int mem);
   (* With no limit, drain only stops at a still-speculative entry. *)
-  if t.entries <> [] then
+  if t.count > 0 then
     invalid_arg "Store_buffer.drain_all: speculative entries remain"
 
-let forward t ~addr ~load_pred lookup =
-  let candidates =
-    List.rev t.entries (* youngest first *)
-    |> List.filter (fun e -> e.valid && e.addr = addr)
+let forward ?(mode = Pred_kernel.Mask) t ~addr ~load_pred ccr =
+  (* Search youngest → oldest among valid entries with the address. *)
+  let rec search i =
+    if i < 0 then `Miss
+    else
+      let e = nth t i in
+      if not (e.valid && e.addr = addr) then search (i - 1)
+      else if Pred.disjoint (Pred.source e.cpred) load_pred then search (i - 1)
+      else if (not e.spec) || Pred.implies load_pred (Pred.source e.cpred) then
+        `Hit (e.value, e.fault)
+      else
+        let v =
+          match mode with
+          | Pred_kernel.Mask -> Ccr.evalc ccr e.cpred
+          | Pred_kernel.Map -> Ccr.eval ccr (Pred.source e.cpred)
+        in
+        match v with
+        | Pred.True -> `Hit (e.value, e.fault)
+        | Pred.False -> search (i - 1)
+        | Pred.Unspec -> `Commit_dependence
   in
-  let rec search = function
-    | [] -> `Miss
-    | e :: rest ->
-        if Pred.disjoint e.pred load_pred then search rest
-        else if (not e.spec) || Pred.implies load_pred e.pred then
-          `Hit (e.value, e.fault)
-        else (
-          match Pred.eval e.pred lookup with
-          | Pred.True -> `Hit (e.value, e.fault)
-          | Pred.False -> search rest
-          | Pred.Unspec -> `Commit_dependence)
-  in
-  search candidates
+  search (t.count - 1)
 
 let invalidate_spec t =
-  List.iter (fun e -> if e.spec then e.valid <- false) t.entries;
-  t.entries <- List.filter (fun e -> e.valid) t.entries
+  (* Squash every speculative entry and compact the invalid ones away, as
+     the list representation did. Cold path: exception detection, region
+     exit, halt. *)
+  let kept = ref [] in
+  for i = t.count - 1 downto 0 do
+    let e = nth t i in
+    if e.spec then e.valid <- false;
+    if e.valid then kept := e :: !kept
+  done;
+  Array.fill t.buf 0 (Array.length t.buf) dummy;
+  t.head <- 0;
+  t.count <- 0;
+  List.iter
+    (fun e ->
+      t.buf.(t.count) <- e;
+      t.count <- t.count + 1)
+    !kept;
+  t.spec_live <- 0;
+  t.faults <- 0
 
-let has_spec t = List.exists (fun e -> e.valid && e.spec) t.entries
-let length t = List.length t.entries
+let has_spec t = t.spec_live > 0
+let length t = t.count
 let max_occupancy t = t.max_occupancy
 let spec_appends t = t.spec_appends
 let commits t = t.commits
 let squashes t = t.squashes
+let buffered_faults t = t.faults
+let tick_examined t = t.tick_examined
+let tick_skipped t = t.tick_skipped
+
+let debug_recount t =
+  let len = t.count and spec = ref 0 and faults = ref 0 in
+  for i = 0 to t.count - 1 do
+    let e = nth t i in
+    if is_live_spec e then begin
+      incr spec;
+      if e.fault <> None then incr faults
+    end
+  done;
+  (len, !spec, !faults)

@@ -5,7 +5,12 @@
     (valid) and E (outstanding speculative exception) flags and a
     predicate with its own evaluation hardware: true → commit (clear W),
     false → squash (clear V). Head entries that are valid and
-    non-speculative drain to the D-cache. *)
+    non-speculative drain to the D-cache.
+
+    The FIFO is a growable ring: appends are O(1) amortised and the
+    per-cycle {!tick} walks a flat array evaluating {e compiled}
+    predicates ({!Psb_isa.Pred.compiled}) against the packed {!Ccr}
+    without allocating. *)
 
 open Psb_isa
 
@@ -14,17 +19,30 @@ type t
 val create : unit -> t
 
 val append :
-  t -> addr:int -> value:int -> pred:Pred.t -> spec:bool ->
+  t -> addr:int -> value:int -> cpred:Pred.compiled -> spec:bool ->
   fault:Fault.t option -> unit
 
-val tick : t -> (Cond.t -> Pred.cond_value) -> (int * [ `Commit | `Squash ]) list
+val tick :
+  ?mode:Pred_kernel.mode -> ?dirty:int ->
+  t -> Ccr.t -> (int * [ `Commit | `Squash ]) list
 (** Evaluate speculative entries' predicates; commit or squash. Returns
-    the affected addresses, in buffer order, for event tracing. *)
+    the affected addresses, in buffer order, for event tracing.
+
+    [dirty] is the word-0 bitmask of conditions written since the last
+    tick (default [-1]: everything dirty); under the [Mask] kernel an
+    entry already examined once whose mask does not intersect [dirty] is
+    still [Unspec] and is skipped without evaluation. A fresh entry is
+    always examined on its first tick — unlike register versions, a store
+    may be appended with an already-decided predicate. Callers that wrote
+    a condition at index [>= Pred.word_bits], or replaced the CCR
+    wholesale, must pass [-1]. The [Map] kernel examines everything. *)
 
 val committing_exceptions :
   t -> (Cond.t -> Pred.cond_value) -> Fault.t list
 (** Buffered store exceptions whose predicate evaluates true under the
-    (tentative) CCR. *)
+    given (tentative) CCR. Takes a lookup closure because detection
+    evaluates hypothetical states; returns immediately when no live
+    speculative entry carries a fault. *)
 
 val drain : t -> max:int -> Memory.t -> int
 (** Write up to [max] head entries that are valid and non-speculative to
@@ -38,7 +56,8 @@ val drain_all : t -> Memory.t -> unit
     @raise Invalid_argument if speculative entries remain. *)
 
 val forward :
-  t -> addr:int -> load_pred:Pred.t -> (Cond.t -> Pred.cond_value) ->
+  ?mode:Pred_kernel.mode ->
+  t -> addr:int -> load_pred:Pred.t -> Ccr.t ->
   [ `Hit of int * Fault.t option | `Miss | `Commit_dependence ]
 (** Store-to-load forwarding. Searches youngest → oldest among valid
     entries with the same address: entries on mutually exclusive paths
@@ -51,8 +70,23 @@ val forward :
 
 val invalidate_spec : t -> unit
 val has_spec : t -> bool
+
 val length : t -> int
+(** Stored entries, including squashed ones not yet discarded by drain —
+    what occupies the hardware FIFO. *)
+
 val max_occupancy : t -> int
 val spec_appends : t -> int
 val commits : t -> int
 val squashes : t -> int
+
+val buffered_faults : t -> int
+(** Live speculative entries currently carrying a buffered exception. *)
+
+val tick_examined : t -> int
+val tick_skipped : t -> int
+(** Entries evaluated vs skipped by dirty-mask gating across all ticks. *)
+
+val debug_recount : t -> int * int * int
+(** [(length, live speculative, faulting speculative)] recounted by full
+    scan — test oracle for the incremental counters. *)

@@ -114,7 +114,7 @@ type wb =
   | Wreg of {
       dst : Reg.t;
       value : int;
-      pred : Pred.t;
+      cpred : Pred.compiled;
       fault : Fault.t option;
       decided_seq : bool;
       load_addr : int option;
@@ -124,7 +124,7 @@ type wb =
   | Wstore of {
       addr : int;
       value : int;
-      pred : Pred.t;
+      cpred : Pred.compiled;
       spec : bool;
       fault : Fault.t option;
     }
@@ -148,6 +148,7 @@ exception Cycle_done
 
 type state = {
   model : Machine_model.t;
+  pred_kernel : Pred_kernel.mode;
   on_event : (int -> event -> unit) option;
   sb_hist : Psb_obs.Metrics.histogram option;
   bundle_hist : Psb_obs.Metrics.histogram option;
@@ -162,6 +163,11 @@ type state = {
   mutable now : int;
   mutable pending : pending list;
   mutable next_order : int;
+  mutable dirty : int;
+      (* word-0 bitmask of conditions written since the last commit/squash
+         tick; -1 after any wholesale CCR change (assign, reset) or a
+         write to a condition beyond word 0. Lets the tick skip buffered
+         entries whose predicates cannot have resolved. *)
   mutable output_rev : int list;
   mutable faults_handled : int;
   (* statistics *)
@@ -189,6 +195,19 @@ type state = {
 
 let emit st ev =
   match st.on_event with None -> () | Some f -> f st.now ev
+
+(* Evaluate a compiled predicate under the selected kernel. The [Map]
+   kernel re-evaluates the source condition map — the pre-bitmask
+   reference semantics, kept for differential testing. *)
+let eval_cpred st ccr cp =
+  match st.pred_kernel with
+  | Pred_kernel.Mask -> Ccr.evalc ccr cp
+  | Pred_kernel.Map -> Ccr.eval ccr (Pred.source cp)
+
+let note_cond_write st c =
+  let i = Cond.index c in
+  st.dirty <-
+    (if i >= Pred.word_bits then -1 else st.dirty lor (1 lsl i))
 
 let observing st = st.on_event <> None
 
@@ -221,7 +240,9 @@ let handle_or_abort st fault =
 (* A load access: store-buffer forwarding first, then the D-cache.
    Returns the value, or the fault if the access faults. *)
 let load_access st ~addr ~load_pred =
-  match Store_buffer.forward st.sb ~addr ~load_pred (Ccr.lookup st.ccr) with
+  match
+    Store_buffer.forward ~mode:st.pred_kernel st.sb ~addr ~load_pred st.ccr
+  with
   | `Hit (v, None) -> Ok v
   | `Hit (v, Some f) -> Error (f, Some v)
   | `Commit_dependence ->
@@ -290,7 +311,8 @@ let issue_nonspec st (pi : Pcode.pinstr) =
   | Instr.Store { src; base; off } ->
       let addr = read_reg st ~shadow_srcs ~pred base + off in
       let value = read_reg st ~shadow_srcs ~pred src in
-      schedule st ~latency (Wstore { addr; value; pred; spec = false; fault = None })
+      schedule st ~latency
+        (Wstore { addr; value; cpred = pi.cpred; spec = false; fault = None })
   | Instr.Alu _ | Instr.Mov _ | Instr.Cmp _ | Instr.Load _ ->
       let value =
         match compute st ~shadow_srcs ~pred pi.op with
@@ -310,7 +332,7 @@ let issue_nonspec st (pi : Pcode.pinstr) =
            {
              dst = dest_of pi.op;
              value;
-             pred;
+             cpred = pi.cpred;
              fault = None;
              decided_seq = true;
              load_addr = None;
@@ -327,7 +349,7 @@ let issue_spec st (pi : Pcode.pinstr) =
   let future_value () =
     match st.mode with
     | Normal -> Pred.Unspec
-    | Recovery { future; _ } -> Ccr.eval future pred
+    | Recovery { future; _ } -> eval_cpred st future pi.cpred
   in
   let resolve_fault f ~addr_info =
     (* Decide what to do with a speculative fault. Returns
@@ -365,7 +387,8 @@ let issue_spec st (pi : Pcode.pinstr) =
                 handle_or_abort st f;
                 None)
       in
-      schedule st ~latency (Wstore { addr; value; pred; spec = true; fault })
+      schedule st ~latency
+        (Wstore { addr; value; cpred = pi.cpred; spec = true; fault })
   | Instr.Alu _ | Instr.Mov _ | Instr.Cmp _ | Instr.Load _ ->
       let value, fault, load_addr =
         match compute st ~shadow_srcs ~pred pi.op with
@@ -382,7 +405,7 @@ let issue_spec st (pi : Pcode.pinstr) =
            {
              dst = dest_of pi.op;
              value;
-             pred;
+             cpred = pi.cpred;
              fault;
              decided_seq = false;
              load_addr;
@@ -400,16 +423,16 @@ let apply_wb st action ~cond_writes =
   | Wcond { dst; value } ->
       cond_writes := (dst, value) :: !cond_writes;
       `Ok
-  | Wstore { addr; value; pred; spec; fault } ->
-      Store_buffer.append st.sb ~addr ~value ~pred ~spec ~fault;
+  | Wstore { addr; value; cpred; spec; fault } ->
+      Store_buffer.append st.sb ~addr ~value ~cpred ~spec ~fault;
       `Ok
-  | Wreg { dst; value; pred; fault; decided_seq; load_addr; _ } ->
+  | Wreg { dst; value; cpred; fault; decided_seq; load_addr; _ } ->
       if decided_seq then begin
         Regfile.write_seq st.rf dst value;
         `Ok
       end
       else begin
-        match Ccr.eval st.ccr pred with
+        match eval_cpred st st.ccr cpred with
         | Pred.False ->
             st.wb_squashes <- st.wb_squashes + 1;
             `Ok (* squashed in flight *)
@@ -423,13 +446,14 @@ let apply_wb st action ~cond_writes =
               | Some f -> (
                   handle_or_abort st f;
                   match load_addr with
-                  | Some addr -> load_nonspec st ~addr ~load_pred:pred
+                  | Some addr ->
+                      load_nonspec st ~addr ~load_pred:(Pred.source cpred)
                   | None -> assert false)
             in
             Regfile.write_seq st.rf dst value;
             `Ok
         | Pred.Unspec -> (
-            match Regfile.write_spec st.rf dst value ~pred ~fault with
+            match Regfile.write_spec st.rf dst value ~cpred ~fault with
             | `Ok -> `Ok
             | `Conflict -> `Conflict)
       end
@@ -476,7 +500,11 @@ let flush_pending st ~allow_cond =
       ps;
     if !cond_writes <> [] && not allow_cond then
       machine_error "Setc write pending at region exit";
-    List.iter (fun (c, v) -> Ccr.set st.ccr c v) !cond_writes;
+    List.iter
+      (fun (c, v) ->
+        Ccr.set st.ccr c v;
+        note_cond_write st c)
+      !cond_writes;
     max 0 (last_due - st.now)
   end
 
@@ -517,13 +545,14 @@ let take_exit st (target : Pcode.exit_target) =
   st.now <- st.now + extra + st.model.Machine_model.transition_penalty;
   (* A final resolve pass: writebacks applied during the flush may have
      buffered state whose predicate is already decided. *)
-  ignore (Regfile.tick st.rf (Ccr.lookup st.ccr));
-  ignore (Store_buffer.tick st.sb (Ccr.lookup st.ccr));
+  ignore (Regfile.tick ~mode:st.pred_kernel ~dirty:(-1) st.rf st.ccr);
+  ignore (Store_buffer.tick ~mode:st.pred_kernel ~dirty:(-1) st.sb st.ccr);
   (* Whatever speculative state remains belongs to untaken paths of the
      region being left (closed-region property): squash it. *)
   Regfile.invalidate_spec st.rf;
   Store_buffer.invalidate_spec st.sb;
   Ccr.reset st.ccr;
+  st.dirty <- -1;
   match target with
   | Pcode.Stop ->
       drain_store_buffer st;
@@ -574,7 +603,8 @@ let step st ~fuel =
         Regfile.committing_exceptions st.rf (Ccr.lookup future) <> []
         || Store_buffer.committing_exceptions st.sb (Ccr.lookup future) <> []
       then machine_error "detection while leaving recovery";
-      Ccr.assign st.ccr ~from:future
+      Ccr.assign st.ccr ~from:future;
+      st.dirty <- -1
   | None ->
       let writes = !cond_writes in
       if writes <> [] && detect st writes then begin
@@ -593,18 +623,20 @@ let step st ~fuel =
         List.iter
           (fun (c, v) ->
             Ccr.set st.ccr c v;
+            note_cond_write st c;
             emit st (Cond_set (c, v)))
           writes);
   (* 3. Commit/squash the buffered speculative state. *)
   List.iter
     (fun (r, a) ->
       emit st (match a with `Commit -> Reg_commit r | `Squash -> Reg_squash r))
-    (Regfile.tick st.rf (Ccr.lookup st.ccr));
+    (Regfile.tick ~mode:st.pred_kernel ~dirty:st.dirty st.rf st.ccr);
   List.iter
     (fun (a, act) ->
       emit st
         (match act with `Commit -> Store_commit a | `Squash -> Store_squash a))
-    (Store_buffer.tick st.sb (Ccr.lookup st.ccr));
+    (Store_buffer.tick ~mode:st.pred_kernel ~dirty:st.dirty st.sb st.ccr);
+  st.dirty <- 0;
   (* Sample occupancy after commit/squash but before the drain — this is
      the point where buffered state held across the cycle is visible. *)
   note_sb_occupancy st;
@@ -665,7 +697,7 @@ let step st ~fuel =
           | Pcode.Exit _ -> (slot, `Exit)
           | Pcode.Op pi -> (
               ( slot,
-                match Ccr.eval st.ccr pi.pred with
+                match eval_cpred st st.ccr pi.cpred with
                 | Pred.False -> `Squash
                 | Pred.True -> if in_recovery then `Squash else `Nonspec
                 | Pred.Unspec -> `Spec )))
@@ -712,8 +744,8 @@ let step st ~fuel =
       List.find_map
         (function
           | Pcode.Op _ -> None
-          | Pcode.Exit { pred; target } -> (
-              match Ccr.eval st.ccr pred with
+          | Pcode.Exit { cpred; target; _ } -> (
+              match eval_cpred st st.ccr cpred with
               | Pred.True ->
                   if in_recovery then
                     machine_error "exit fired during recovery mode";
@@ -733,8 +765,9 @@ let step st ~fuel =
 
 let default_fuel = 60_000_000
 
-let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
-    ?metrics ~model ~regs ~mem (code : Pcode.t) =
+let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
+    ?(pred_kernel = Pred_kernel.default) ?on_event ?metrics ~model ~regs ~mem
+    (code : Pcode.t) =
   let nregs =
     let m =
       List.fold_left
@@ -770,6 +803,7 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
   let st =
     {
       model;
+      pred_kernel;
       on_event;
       sb_hist;
       bundle_hist;
@@ -784,6 +818,7 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
       now = 0;
       pending = [];
       next_order = 0;
+      dirty = -1;
       output_rev = [];
       faults_handled = 0;
       dyn_bundles = 0;
@@ -830,6 +865,13 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single) ?on_event
         c "vliw_spec_ops" st.spec_ops;
         c "vliw_recoveries" st.recoveries;
         c "vliw_shadow_conflicts" (Regfile.conflicts st.rf);
+        let g name label v = inc (counter m name ~labels:[ label ]) ~by:v in
+        g "vliw_tick_entries" ("gate", "examined")
+          (Regfile.tick_examined st.rf + Store_buffer.tick_examined st.sb);
+        g "vliw_tick_entries" ("gate", "skipped")
+          (Regfile.tick_skipped st.rf + Store_buffer.tick_skipped st.sb);
+        g "vliw_pred_evals" ("kind", "mask") (Ccr.evals_mask st.ccr);
+        g "vliw_pred_evals" ("kind", "map") (Ccr.evals_map st.ccr);
         List.iter
           (fun (cat, v) ->
             inc (counter m "vliw_cycles" ~labels:[ ("category", cat) ]) ~by:v)

@@ -120,6 +120,7 @@ exception Machine_error of string
 val run :
   ?fuel:int ->
   ?regfile_mode:Regfile.mode ->
+  ?pred_kernel:Pred_kernel.mode ->
   ?on_event:(int -> event -> unit) ->
   ?metrics:Psb_obs.Metrics.t ->
   model:Machine_model.t ->
@@ -133,8 +134,17 @@ val run :
     timeline (compare Table 1). When neither [on_event] nor [metrics] is
     given the instrumentation costs nothing.
 
+    [pred_kernel] selects how per-cycle predicate evaluation runs
+    (default {!Pred_kernel.default}): [Mask] uses the compiled bitmask
+    comparators with dirty-condition gating, [Map] re-evaluates the
+    source condition maps. Both produce identical results and cycle
+    counts; [Map] exists as the differential-testing reference.
+
     [metrics] collects, under the [vliw_] prefix: a store-buffer
     occupancy histogram sampled every cycle ([vliw_sb_occupancy]), an
-    executed-ops-per-bundle histogram ([vliw_bundle_ops]), and final
+    executed-ops-per-bundle histogram ([vliw_bundle_ops]), final
     counters for cycles, operations and the cycle-accounting categories
-    ([vliw_cycles{category=...}]). *)
+    ([vliw_cycles{category=...}]), plus predicate-kernel counters:
+    [vliw_tick_entries{gate=examined|skipped}] (buffered entries
+    evaluated vs skipped by dirty-mask gating) and
+    [vliw_pred_evals{kind=mask|map}] (evaluations by kernel). *)

@@ -117,15 +117,18 @@ let verify_region ~single_shadow machine (r : Pcode.region) =
     | Some [ (b, _, lat) ] -> b + lat
     | _ -> never
   in
-  let resolve p =
-    Cond.Set.fold (fun c acc -> max acc (avail c)) (Pred.conds p) 0
-  in
+  let resolve p = Pred.fold_conds (fun c _ acc -> max acc (avail c)) p 0 in
   (* ----- predicate well-formedness ----- *)
   let reported_missing = Hashtbl.create 4 in
-  let check_pred_conds b s p =
-    Cond.Set.iter
-      (fun c ->
-        if Cond.index c >= ccr then
+  let check_pred_conds b s slot =
+    let p = Pcode.slot_pred slot in
+    (* The compiled mask answers the CCR-width question for the whole
+       predicate at once; the per-condition scan below only has to name
+       offenders when it says no. *)
+    let fits = Pred.compiled_fits ~width:ccr (Pcode.slot_cpred slot) in
+    Pred.iter_conds
+      (fun c _ ->
+        if (not fits) && Cond.index c >= ccr then
           add ctx Wellformed ~bundle:b ~slot:s
             "predicate %a reads %a, outside the CCR (%d entries)" Pred.pp p
             Cond.pp c ccr;
@@ -147,11 +150,9 @@ let verify_region ~single_shadow machine (r : Pcode.region) =
                  — it can never resolve"
                 Pred.pp p Cond.pp c
             end)
-      (Pred.conds p)
+      p
   in
-  List.iter
-    (fun (b, s, slot) -> check_pred_conds b s (Pcode.slot_pred slot))
-    slots;
+  List.iter (fun (b, s, slot) -> check_pred_conds b s slot) slots;
   (* ----- per-slot issue-time checks ----- *)
   let max_spec = Machine_model.max_spec_conds machine in
   List.iter
@@ -169,15 +170,15 @@ let verify_region ~single_shadow machine (r : Pcode.region) =
       | Pcode.Exit _ ->
           (* exits evaluate against the live CCR when their bundle issues:
              every condition must already be specified *)
-          Cond.Set.iter
-            (fun c ->
+          Pred.iter_conds
+            (fun c _ ->
               let a = avail c in
               if a > b && a < never then
                 add ctx Wellformed ~bundle:b ~slot:s
                   "exit reads %a, specified no earlier than cycle %d but \
                    evaluated at cycle %d"
                   Cond.pp c a b)
-            (Pred.conds pred);
+            pred;
           (* an exit that fires while a condition write is in flight loses
              the write: the machine raises a machine error on this *)
           Hashtbl.iter

@@ -236,6 +236,71 @@ let test_parallel_differential () =
     (Printf.sprintf "batch covered recovery episodes (%d cells)" recovered)
     true (recovered > 0)
 
+(* ----- predicate-kernel identity -----
+
+   The bitmask kernel (with dirty-condition gating) and the reference
+   map kernel must be indistinguishable: same outputs, same memory, and
+   the exact same cycle count — gating may only skip evaluations whose
+   outcome could not have changed, never delay a commit or squash. *)
+
+let run_both_kernels compiled ~regs ~mem_of =
+  let module K = Psb_machine.Pred_kernel in
+  let run kernel =
+    Driver.run_vliw ~pred_kernel:kernel compiled ~regs ~mem:(mem_of ())
+  in
+  (run K.Mask, run K.Map)
+
+let kernels_agree (a : Vliw_sim.result) (b : Vliw_sim.result) =
+  outcomes_match a.Vliw_sim.outcome b.Vliw_sim.outcome
+  && a.Vliw_sim.output = b.Vliw_sim.output
+  && a.Vliw_sim.cycles = b.Vliw_sim.cycles
+  && a.Vliw_sim.stats.Vliw_sim.commits = b.Vliw_sim.stats.Vliw_sim.commits
+  && a.Vliw_sim.stats.Vliw_sim.squashes = b.Vliw_sim.stats.Vliw_sim.squashes
+  && a.Vliw_sim.stats.Vliw_sim.recoveries = b.Vliw_sim.stats.Vliw_sim.recoveries
+
+let pred_kernel_identity =
+  QCheck.Test.make ~name:"mask kernel = map kernel (cycle-exact)" ~count:120
+    arb_program (fun g ->
+      let scalar = Interp.run ~fuel:500_000 ~regs ~mem:(make_mem g) g.program in
+      QCheck.assume (scalar.Interp.outcome <> Interp.Out_of_fuel);
+      let _, profile = Driver.profile_of g.program ~regs ~mem:(make_mem g) in
+      let compiled =
+        Driver.compile ~model:Model.region_pred ~machine:Machine_model.base
+          ~profile g.program
+      in
+      let mask, map = run_both_kernels compiled ~regs ~mem_of:(fun () -> make_mem g) in
+      if not (kernels_agree mask map) then
+        QCheck.Test.fail_reportf
+          "kernels diverged: mask %d cycles / %a, map %d cycles / %a"
+          mask.Vliw_sim.cycles Interp.pp_outcome mask.Vliw_sim.outcome
+          map.Vliw_sim.cycles Interp.pp_outcome map.Vliw_sim.outcome;
+      true)
+
+let test_pred_kernel_suite_identity () =
+  let open Psb_workloads in
+  List.iter
+    (fun (w : Dsl.t) ->
+      let _, profile =
+        Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+      in
+      List.iter
+        (fun model ->
+          let compiled =
+            Driver.compile ~model ~machine:Machine_model.base ~profile
+              w.Dsl.program
+          in
+          let mask, map =
+            run_both_kernels compiled ~regs:w.Dsl.regs ~mem_of:w.Dsl.make_mem
+          in
+          Alcotest.(check int)
+            (w.Dsl.name ^ "/" ^ model.Model.name ^ " cycles")
+            map.Vliw_sim.cycles mask.Vliw_sim.cycles;
+          Alcotest.(check (list int))
+            (w.Dsl.name ^ "/" ^ model.Model.name ^ " output")
+            map.Vliw_sim.output mask.Vliw_sim.output)
+        executable_models)
+    Suite.all
+
 let asm_roundtrip =
   QCheck.Test.make ~name:"asm print/parse round-trips" ~count:200
     Gen_programs.arb_program (fun g ->
@@ -256,8 +321,14 @@ let () =
             differential Model.guarded;
             estimate_never_crashes;
             infinite_shadow_agrees;
+            pred_kernel_identity;
             asm_roundtrip;
           ] );
+      ( "pred-kernel",
+        [
+          Alcotest.test_case "whole suite cycle-exact (all models)" `Quick
+            test_pred_kernel_suite_identity;
+        ] );
       ( "parallel",
         [
           Alcotest.test_case "pool-sharded differential (all models)" `Quick

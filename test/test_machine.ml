@@ -14,6 +14,26 @@ let p_true c = Pred.of_list [ (c, true) ]
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* A CCR with the given condition assignments — ticks now take the packed
+   CCR itself rather than a lookup closure. *)
+let ccr_with ?(width = 4) assigns =
+  let ccr = Ccr.create ~width in
+  List.iter (fun (c, v) -> Ccr.set ccr (cond c) v) assigns;
+  ccr
+
+(* Oracle check: the incremental live/fault counters must agree with a
+   full recount of the buffered state. *)
+let check_rf_counters rf =
+  let live, faults = Regfile.debug_recount rf in
+  check_bool "rf live counter" true (Regfile.has_spec rf = (live > 0));
+  check_int "rf fault counter" faults (Regfile.buffered_faults rf)
+
+let check_sb_counters sb =
+  let len, spec, faults = Store_buffer.debug_recount sb in
+  check_int "sb length counter" len (Store_buffer.length sb);
+  check_bool "sb spec counter" true (Store_buffer.has_spec sb = (spec > 0));
+  check_int "sb fault counter" faults (Store_buffer.buffered_faults sb)
+
 (* ---------- CCR ---------- *)
 
 let test_ccr_basic () =
@@ -53,18 +73,23 @@ let test_regfile_commit () =
   Regfile.write_seq rf (reg 0) 10;
   let p = p_true (cond 0) in
   check_bool "spec write ok" true
-    (Regfile.write_spec rf (reg 0) 99 ~pred:p ~fault:None = `Ok);
+    (Regfile.write_spec rf (reg 0) 99 ~cpred:(Pred.compile p) ~fault:None = `Ok);
   check_int "seq unchanged" 10 (Regfile.read_seq rf (reg 0));
   check_int "shadow read" 99 (Regfile.read rf (reg 0) ~shadow:true ~pred:p);
-  ignore (Regfile.tick rf (fun _ -> Pred.T));
+  check_rf_counters rf;
+  ignore (Regfile.tick rf (ccr_with [ (0, true) ]));
   check_int "committed" 99 (Regfile.read_seq rf (reg 0));
-  check_bool "shadow cleared" true (not (Regfile.has_spec rf))
+  check_bool "shadow cleared" true (not (Regfile.has_spec rf));
+  check_rf_counters rf
 
 let test_regfile_squash () =
   let rf = Regfile.create ~nregs:4 () in
   Regfile.write_seq rf (reg 1) 7;
-  ignore (Regfile.write_spec rf (reg 1) 42 ~pred:(p_true (cond 0)) ~fault:None);
-  ignore (Regfile.tick rf (fun _ -> Pred.F));
+  ignore
+    (Regfile.write_spec rf (reg 1) 42
+       ~cpred:(Pred.compile (p_true (cond 0)))
+       ~fault:None);
+  ignore (Regfile.tick rf (ccr_with [ (0, false) ]));
   check_int "squashed: seq intact" 7 (Regfile.read_seq rf (reg 1));
   check_bool "no spec left" true (not (Regfile.has_spec rf));
   check_int "one squash" 1 (Regfile.squashes rf)
@@ -77,33 +102,37 @@ let test_regfile_shadow_fallback () =
 
 let test_regfile_conflict () =
   let rf = Regfile.create ~nregs:4 () in
-  let p0 = p_true (cond 0) and p1 = p_true (cond 1) in
+  let c0 = Pred.compile (p_true (cond 0))
+  and c1 = Pred.compile (p_true (cond 1)) in
   check_bool "first ok" true
-    (Regfile.write_spec rf (reg 0) 1 ~pred:p0 ~fault:None = `Ok);
+    (Regfile.write_spec rf (reg 0) 1 ~cpred:c0 ~fault:None = `Ok);
   check_bool "different pred conflicts" true
-    (Regfile.write_spec rf (reg 0) 2 ~pred:p1 ~fault:None = `Conflict);
+    (Regfile.write_spec rf (reg 0) 2 ~cpred:c1 ~fault:None = `Conflict);
   check_bool "same pred overwrites" true
-    (Regfile.write_spec rf (reg 0) 3 ~pred:p0 ~fault:None = `Ok);
-  check_int "conflict counted" 1 (Regfile.conflicts rf)
+    (Regfile.write_spec rf (reg 0) 3 ~cpred:c0 ~fault:None = `Ok);
+  check_int "conflict counted" 1 (Regfile.conflicts rf);
+  check_rf_counters rf
 
 let test_regfile_infinite_mode () =
   let rf = Regfile.create ~mode:Regfile.Infinite ~nregs:4 () in
-  let p0 = p_true (cond 0) and p1 = p_true (cond 1) in
+  let c0 = Pred.compile (p_true (cond 0))
+  and c1 = Pred.compile (p_true (cond 1)) in
   check_bool "first ok" true
-    (Regfile.write_spec rf (reg 0) 1 ~pred:p0 ~fault:None = `Ok);
+    (Regfile.write_spec rf (reg 0) 1 ~cpred:c0 ~fault:None = `Ok);
   check_bool "second ok too" true
-    (Regfile.write_spec rf (reg 0) 2 ~pred:p1 ~fault:None = `Ok);
+    (Regfile.write_spec rf (reg 0) 2 ~cpred:c1 ~fault:None = `Ok);
   check_int "no conflicts" 0 (Regfile.conflicts rf);
   (* c0 true, c1 false: version 1 commits, version 2 squashes. *)
-  let lookup c = if Cond.index c = 0 then Pred.T else Pred.F in
-  ignore (Regfile.tick rf lookup);
+  ignore (Regfile.tick rf (ccr_with [ (0, true); (1, false) ]));
   check_int "right version committed" 1 (Regfile.read_seq rf (reg 0))
 
 let test_regfile_exception_buffering () =
   let rf = Regfile.create ~nregs:4 () in
   let f = Fault.Mem (Memory.Unmapped 100) in
   let p = p_true (cond 0) in
-  ignore (Regfile.write_spec rf (reg 3) 0 ~pred:p ~fault:(Some f));
+  ignore
+    (Regfile.write_spec rf (reg 3) 0 ~cpred:(Pred.compile p) ~fault:(Some f));
+  check_rf_counters rf;
   check_int "no detection while unspec" 0
     (List.length (Regfile.committing_exceptions rf (fun _ -> Pred.U)));
   check_int "detected on commit" 1
@@ -116,8 +145,11 @@ let test_regfile_exception_buffering () =
 let test_sb_fifo_drain () =
   let sb = Store_buffer.create () in
   let mem = Memory.create ~size:64 in
-  Store_buffer.append sb ~addr:1 ~value:11 ~pred:Pred.always ~spec:false ~fault:None;
-  Store_buffer.append sb ~addr:2 ~value:22 ~pred:Pred.always ~spec:false ~fault:None;
+  Store_buffer.append sb ~addr:1 ~value:11 ~cpred:Pred.compiled_always
+    ~spec:false ~fault:None;
+  Store_buffer.append sb ~addr:2 ~value:22 ~cpred:Pred.compiled_always
+    ~spec:false ~fault:None;
+  check_sb_counters sb;
   check_int "drain limited" 1 (Store_buffer.drain sb ~max:1 mem);
   check_int "first written" 11 (Memory.peek mem 1);
   check_int "second pending" 0 (Memory.peek mem 2);
@@ -127,21 +159,26 @@ let test_sb_fifo_drain () =
 let test_sb_spec_blocks_drain () =
   let sb = Store_buffer.create () in
   let mem = Memory.create ~size:64 in
-  Store_buffer.append sb ~addr:1 ~value:1 ~pred:(p_true (cond 0)) ~spec:true
-    ~fault:None;
-  Store_buffer.append sb ~addr:2 ~value:2 ~pred:Pred.always ~spec:false
-    ~fault:None;
+  Store_buffer.append sb ~addr:1 ~value:1
+    ~cpred:(Pred.compile (p_true (cond 0)))
+    ~spec:true ~fault:None;
+  Store_buffer.append sb ~addr:2 ~value:2 ~cpred:Pred.compiled_always
+    ~spec:false ~fault:None;
   check_int "speculative head blocks" 0 (Store_buffer.drain sb ~max:8 mem);
-  ignore (Store_buffer.tick sb (fun _ -> Pred.T));
+  check_sb_counters sb;
+  ignore (Store_buffer.tick sb (ccr_with [ (0, true) ]));
+  check_sb_counters sb;
   check_int "after commit both drain" 2 (Store_buffer.drain sb ~max:8 mem);
   check_int "order preserved" 1 (Memory.peek mem 1)
 
 let test_sb_squash () =
   let sb = Store_buffer.create () in
   let mem = Memory.create ~size:64 in
-  Store_buffer.append sb ~addr:1 ~value:1 ~pred:(p_true (cond 0)) ~spec:true
-    ~fault:None;
-  ignore (Store_buffer.tick sb (fun _ -> Pred.F));
+  Store_buffer.append sb ~addr:1 ~value:1
+    ~cpred:(Pred.compile (p_true (cond 0)))
+    ~spec:true ~fault:None;
+  ignore (Store_buffer.tick sb (ccr_with [ (0, false) ]));
+  check_sb_counters sb;
   check_int "squashed entry discarded" 0 (Store_buffer.drain sb ~max:8 mem);
   check_int "nothing written" 0 (Memory.peek mem 1);
   check_int "buffer empty" 0 (Store_buffer.length sb)
@@ -150,22 +187,24 @@ let test_sb_forwarding () =
   let sb = Store_buffer.create () in
   let p0 = p_true (cond 0) in
   let not_p0 = Pred.of_list [ (cond 0, false) ] in
-  Store_buffer.append sb ~addr:5 ~value:50 ~pred:Pred.always ~spec:false
-    ~fault:None;
-  (match Store_buffer.forward sb ~addr:5 ~load_pred:Pred.always (fun _ -> Pred.U) with
+  let unspec = ccr_with [] in
+  Store_buffer.append sb ~addr:5 ~value:50 ~cpred:Pred.compiled_always
+    ~spec:false ~fault:None;
+  (match Store_buffer.forward sb ~addr:5 ~load_pred:Pred.always unspec with
   | `Hit (50, None) -> ()
   | _ -> Alcotest.fail "expected hit from non-speculative entry");
-  Store_buffer.append sb ~addr:5 ~value:60 ~pred:p0 ~spec:true ~fault:None;
+  Store_buffer.append sb ~addr:5 ~value:60 ~cpred:(Pred.compile p0) ~spec:true
+    ~fault:None;
   (* A load on the opposite path skips the speculative entry. *)
-  (match Store_buffer.forward sb ~addr:5 ~load_pred:not_p0 (fun _ -> Pred.U) with
+  (match Store_buffer.forward sb ~addr:5 ~load_pred:not_p0 unspec with
   | `Hit (50, None) -> ()
   | _ -> Alcotest.fail "disjoint speculative entry must be skipped");
   (* A load control-dependent on the store sees the speculative value. *)
-  (match Store_buffer.forward sb ~addr:5 ~load_pred:p0 (fun _ -> Pred.U) with
+  (match Store_buffer.forward sb ~addr:5 ~load_pred:p0 unspec with
   | `Hit (60, None) -> ()
   | _ -> Alcotest.fail "implied speculative entry must forward");
   (* An unrelated load with an unresolved store is a commit dependence. *)
-  (match Store_buffer.forward sb ~addr:5 ~load_pred:Pred.always (fun _ -> Pred.U) with
+  (match Store_buffer.forward sb ~addr:5 ~load_pred:Pred.always unspec with
   | `Commit_dependence -> ()
   | _ -> Alcotest.fail "expected commit-dependence report")
 
@@ -912,6 +951,158 @@ let test_pcode_text_errors () =
       "entry r\nregion r:\n  (0) alw ? nop\n" (* no exit in last bundle *);
     ]
 
+(* ---------- Predicate kernels: mask eval = map eval ---------- *)
+
+(* Random predicates whose condition indices straddle the word boundary
+   ([Pred.word_bits] = [Sys.int_size]), so both the single-word mask path
+   and the multi-word fallback are exercised. *)
+let gen_boundary_pred =
+  let interesting =
+    [
+      0;
+      1;
+      5;
+      30;
+      Pred.word_bits - 2;
+      Pred.word_bits - 1;
+      Pred.word_bits;
+      Pred.word_bits + 1;
+      Pred.word_bits + 17;
+      100;
+    ]
+  in
+  QCheck.Gen.(
+    list_size (int_bound 5) (pair (oneofl interesting) bool) >|= fun lits ->
+    List.fold_left
+      (fun p (c, v) ->
+        match Pred.conj p (cond c) v with p' -> p' | exception _ -> p)
+      Pred.always lits)
+
+let arb_boundary_pred =
+  QCheck.make ~print:(Format.asprintf "%a" Pred.pp) gen_boundary_pred
+
+let gen_cond_states =
+  QCheck.Gen.(array_size (return 128) (oneofl [ Some true; Some false; None ]))
+
+let prop_mask_eval_agrees =
+  QCheck.Test.make ~name:"compiled mask eval = map eval (incl. multi-word)"
+    ~count:2000
+    (QCheck.pair arb_boundary_pred (QCheck.make gen_cond_states))
+    (fun (p, states) ->
+      let ccr = Ccr.create ~width:128 in
+      Array.iteri
+        (fun i s ->
+          match s with Some v -> Ccr.set ccr (cond i) v | None -> ())
+        states;
+      let cp = Pred.compile p in
+      let by_map = Ccr.eval ccr p in
+      Ccr.evalc ccr cp = by_map && Pred.eval p (Ccr.lookup ccr) = by_map)
+
+let prop_mask_eval_tracks_resets =
+  (* The packed mirror must stay coherent through set/reset/assign, not
+     just after a straight-line fill. *)
+  QCheck.Test.make ~name:"packed CCR mirror coherent under set/reset/assign"
+    ~count:500
+    (QCheck.pair arb_boundary_pred (QCheck.make gen_cond_states))
+    (fun (p, states) ->
+      let ccr = Ccr.create ~width:128 in
+      Array.iteri
+        (fun i s ->
+          match s with Some v -> Ccr.set ccr (cond i) v | None -> ())
+        states;
+      let snapshot = Ccr.copy ccr in
+      Ccr.reset ccr;
+      let cp = Pred.compile p in
+      let after_reset =
+        Ccr.evalc ccr cp = Ccr.eval ccr p
+        && (Pred.is_always p || Ccr.evalc ccr cp = Pred.Unspec)
+      in
+      Ccr.assign ccr ~from:snapshot;
+      after_reset && Ccr.evalc ccr cp = Ccr.eval snapshot p)
+
+(* Dirty-condition gating at the register-file level: a tick whose dirty
+   mask misses the version's conditions must skip it (still buffered),
+   and a later tick with the right bit must commit it. *)
+let test_regfile_dirty_gating () =
+  let rf = Regfile.create ~nregs:4 () in
+  let p = p_true (cond 2) in
+  ignore (Regfile.write_spec rf (reg 0) 9 ~cpred:(Pred.compile p) ~fault:None);
+  let ccr = ccr_with [ (2, true) ] in
+  (* cond 2 is specified, but the tick is told only cond 0 changed: the
+     mask kernel must not even look. *)
+  ignore (Regfile.tick ~dirty:(1 lsl 0) rf ccr);
+  check_bool "still buffered after gated tick" true (Regfile.has_spec rf);
+  check_int "skipped once" 1 (Regfile.tick_skipped rf);
+  ignore (Regfile.tick ~dirty:(1 lsl 2) rf ccr);
+  check_bool "committed once ungated" true (not (Regfile.has_spec rf));
+  check_int "committed value" 9 (Regfile.read_seq rf (reg 0));
+  check_rf_counters rf
+
+(* A store appended with an already-decided predicate must be examined on
+   its first tick even when the dirty mask is empty — entries enter the
+   buffer unconditionally, unlike register versions. *)
+let test_sb_dirty_gating_fresh_entry () =
+  let sb = Store_buffer.create () in
+  let mem = Memory.create ~size:64 in
+  let ccr = ccr_with [ (0, true) ] in
+  Store_buffer.append sb ~addr:3 ~value:33
+    ~cpred:(Pred.compile (p_true (cond 0)))
+    ~spec:true ~fault:None;
+  ignore (Store_buffer.tick ~dirty:0 sb ccr);
+  check_int "fresh entry examined despite empty dirty mask" 1
+    (Store_buffer.tick_examined sb);
+  check_int "committed and drains" 1 (Store_buffer.drain sb ~max:8 mem);
+  check_int "value written" 33 (Memory.peek mem 3);
+  (* once examined (and still unresolved), gating applies *)
+  Store_buffer.append sb ~addr:4 ~value:44
+    ~cpred:(Pred.compile (p_true (cond 1)))
+    ~spec:true ~fault:None;
+  ignore (Store_buffer.tick ~dirty:0 sb ccr);
+  ignore (Store_buffer.tick ~dirty:0 sb ccr);
+  check_int "second tick skipped" 1 (Store_buffer.tick_skipped sb);
+  check_sb_counters sb
+
+(* The gating regression at machine level: the bundle that resolves the
+   buffered write's condition also writes an unrelated condition. Both
+   kernels must agree cycle-for-cycle and the gated tick must still
+   commit. *)
+let test_vliw_dirty_gating_same_cycle_conds () =
+  let pcode =
+    Pcode.make ~entry:(lbl "main")
+      [
+        region "main"
+          [
+            [ mov 1 (imm 5) ];
+            [
+              mov ~pred:(p_true (cond 0)) 2 (imm 111);
+              mov ~pred:(p_true (cond 1)) 3 (imm 222);
+            ];
+            (* c0 (relevant to r2) and c1 (relevant to r3) are specified by
+               the same bundle; a third, unread condition rides along. *)
+            [
+              setc 0 Opcode.Lt (r 1) (imm 10);
+              setc 1 Opcode.Lt (imm 10) (r 1);
+              setc 2 Opcode.Eq (r 1) (imm 5);
+            ];
+            [ out (r 2); out (r 3) ];
+            [ Pcode.exit_stop Pred.always ];
+          ];
+      ]
+  in
+  let run kernel =
+    let mem = Memory.create ~size:64 in
+    Vliw_sim.run ~model ~pred_kernel:kernel ~regs:[] ~mem pcode
+  in
+  let mask = run Pred_kernel.Mask and map = run Pred_kernel.Map in
+  Alcotest.(check (list int)) "mask output" [ 111; 0 ] mask.Vliw_sim.output;
+  Alcotest.(check (list int))
+    "map output" map.Vliw_sim.output mask.Vliw_sim.output;
+  check_int "identical cycles" map.Vliw_sim.cycles mask.Vliw_sim.cycles;
+  check_int "identical commits" map.Vliw_sim.stats.Vliw_sim.commits
+    mask.Vliw_sim.stats.Vliw_sim.commits;
+  check_int "identical squashes" map.Vliw_sim.stats.Vliw_sim.squashes
+    mask.Vliw_sim.stats.Vliw_sim.squashes
+
 (* ---------- Hardware cost ---------- *)
 
 let test_hwcost () =
@@ -998,6 +1189,17 @@ let () =
         [
           Alcotest.test_case "figure 4 / table 1" `Quick test_paper_figure4;
           Alcotest.test_case "figure 5 recovery" `Quick test_paper_figure5;
+        ] );
+      ( "pred-kernel",
+        [
+          QCheck_alcotest.to_alcotest prop_mask_eval_agrees;
+          QCheck_alcotest.to_alcotest prop_mask_eval_tracks_resets;
+          Alcotest.test_case "regfile dirty gating" `Quick
+            test_regfile_dirty_gating;
+          Alcotest.test_case "store-buffer fresh entry" `Quick
+            test_sb_dirty_gating_fresh_entry;
+          Alcotest.test_case "same-cycle condition writes" `Quick
+            test_vliw_dirty_gating_same_cycle_conds;
         ] );
       ("hwcost", [ Alcotest.test_case "paper numbers" `Quick test_hwcost ]);
     ]
