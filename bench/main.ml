@@ -12,6 +12,10 @@
                                                 # regeneration + kernels
      dune exec bench/main.exe -- bechamel --json pred_kernel
                                                 # one bench group, as JSON
+     dune exec bench/main.exe -- --baseline BENCH_5.json --threshold 50
+                                                # regression gate: re-run the
+                                                # baseline's bench groups and
+                                                # exit 1 past the threshold
 
    -j N / --jobs N (default: physical cores) shards the experiment cells
    over a work-stealing domain pool; the experiments member of --json
@@ -31,6 +35,8 @@ module Hwcost = Psb_machine.Hwcost
 
 let jobs = ref (Pool.default_jobs ())
 let verify = ref true
+let baseline_file : string option ref = ref None
+let threshold = ref 50.
 let pool = lazy (if !jobs > 1 then Some (Pool.create ~jobs:!jobs ()) else None)
 let h = lazy (Harness.create ?pool:(Lazy.force pool) ~verify:!verify ())
 
@@ -187,9 +193,79 @@ module Pred_bench = struct
       ]
 end
 
+(* ----- events microbenches -----
+
+   The structured event log must be free when absent and cheap when
+   attached: [emit] is the raw ring cost (alloc-free, overwrite past
+   capacity), and the tick pairs run the same all-Unspec per-cycle state
+   with and without a ring attached — the delta is the cost of the
+   [?events] option check on the hot path, which the zero-overhead claim
+   says is a pointer test. *)
+module Events_bench = struct
+  open Psb_isa
+  module Regfile = Psb_machine.Regfile
+  module Store_buffer = Psb_machine.Store_buffer
+  module Pred_kernel = Psb_machine.Pred_kernel
+  module Events = Psb_obs.Events
+
+  let ring = lazy (Events.create ~capacity:4096 ())
+
+  let make_rf events =
+    let rf =
+      Regfile.create ~mode:Regfile.Single ?events ~nregs:Pred_bench.entries ()
+    in
+    for i = 0 to Pred_bench.entries - 1 do
+      match
+        Regfile.write_spec rf (Reg.make i) i
+          ~cpred:(Pred.compile (Pred_bench.pred i))
+          ~fault:None
+      with
+      | `Ok -> ()
+      | `Conflict -> assert false
+    done;
+    rf
+
+  let make_sb events =
+    let sb = Store_buffer.create ?events () in
+    for i = 0 to Pred_bench.entries - 1 do
+      Store_buffer.append sb ~addr:i ~value:i
+        ~cpred:(Pred.compile (Pred_bench.pred i))
+        ~spec:true ~fault:None
+    done;
+    sb
+
+  let rf_plain = lazy (make_rf None)
+  let rf_events = lazy (make_rf (Some (Lazy.force ring)))
+  let sb_plain = lazy (make_sb None)
+  let sb_events = lazy (make_sb (Some (Lazy.force ring)))
+
+  let tests () =
+    let open Bechamel in
+    let t name f = Test.make ~name (Staged.stage f) in
+    let tick_rf rf () =
+      ignore
+        (Regfile.tick ~mode:Pred_kernel.Mask ~dirty:(-1) (Lazy.force rf)
+           (Lazy.force Pred_bench.ccr))
+    and tick_sb sb () =
+      ignore
+        (Store_buffer.tick ~mode:Pred_kernel.Mask ~dirty:(-1) (Lazy.force sb)
+           (Lazy.force Pred_bench.ccr))
+    in
+    Test.make_grouped ~name:"events"
+      [
+        t "emit" (fun () ->
+            Events.emit (Lazy.force ring) ~cycle:0 Events.Issue ~a:1 ~b:0);
+        t "rf_tick/no_events" (tick_rf rf_plain);
+        t "rf_tick/events" (tick_rf rf_events);
+        t "sb_tick/no_events" (tick_sb sb_plain);
+        t "sb_tick/events" (tick_sb sb_events);
+      ]
+end
+
 (* Bechamel timings. Groups: [experiments] times the full regeneration of
    each table/figure against a null formatter; [pred_kernel] times the
-   per-cycle predicate-evaluation kernels. *)
+   per-cycle predicate-evaluation kernels; [events] times the structured
+   event log against the machine hot paths. *)
 let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
   [
     ( "experiments",
@@ -202,6 +278,7 @@ let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
                Test.make ~name (Staged.stage (fun () -> f null_ppf)))
              experiments) );
     ("pred_kernel", Pred_bench.tests);
+    ("events", Events_bench.tests);
   ]
 
 let bench_usage_error name =
@@ -235,6 +312,35 @@ let bench_group name =
            estimate Toolkit.Instance.monotonic_clock n,
            estimate Toolkit.Instance.minor_allocated n ))
 
+(* [(group name, rows)] as a psb-bechamel-v1 document — the shape both
+   [bechamel --json] emits and [--baseline] compares against. *)
+let bechamel_doc groups =
+  Psb_obs.Json.obj
+    [
+      ("schema", Psb_obs.Json.String "psb-bechamel-v1");
+      ( "groups",
+        Psb_obs.Json.List
+          (List.map
+             (fun (name, rows) ->
+               Psb_obs.Json.obj
+                 [
+                   ("name", Psb_obs.Json.String name);
+                   ( "results",
+                     Psb_obs.Json.List
+                       (List.map
+                          (fun (n, ns, words) ->
+                            Psb_obs.Json.obj
+                              [
+                                ("name", Psb_obs.Json.String n);
+                                ("ns_per_run", Psb_obs.Json.Float ns);
+                                ( "minor_words_per_run",
+                                  Psb_obs.Json.Float words );
+                              ])
+                          rows) );
+                 ])
+             groups) );
+    ]
+
 let run_bechamel ~json names =
   let names = if names = [] then List.map fst bench_groups else names in
   List.iter
@@ -242,34 +348,7 @@ let run_bechamel ~json names =
     names;
   let groups = List.map (fun n -> (n, bench_group n)) names in
   if json then
-    let doc =
-      Psb_obs.Json.obj
-        [
-          ("schema", Psb_obs.Json.String "psb-bechamel-v1");
-          ( "groups",
-            Psb_obs.Json.List
-              (List.map
-                 (fun (name, rows) ->
-                   Psb_obs.Json.obj
-                     [
-                       ("name", Psb_obs.Json.String name);
-                       ( "results",
-                         Psb_obs.Json.List
-                           (List.map
-                              (fun (n, ns, words) ->
-                                Psb_obs.Json.obj
-                                  [
-                                    ("name", Psb_obs.Json.String n);
-                                    ("ns_per_run", Psb_obs.Json.Float ns);
-                                    ( "minor_words_per_run",
-                                      Psb_obs.Json.Float words );
-                                  ])
-                              rows) );
-                     ])
-                 groups) );
-        ]
-    in
-    print_endline (Psb_obs.Json.to_string doc)
+    print_endline (Psb_obs.Json.to_string (bechamel_doc groups))
   else
     List.iter
       (fun (name, rows) ->
@@ -281,6 +360,48 @@ let run_bechamel ~json names =
         Format.printf "@.")
       groups
 
+(* Regression gate: re-measure exactly the bench groups the baseline
+   document names, compare ns/run per benchmark, and exit 1 on any
+   slowdown past the threshold (or a vanished benchmark). *)
+let run_baseline file =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg ->
+      Format.eprintf "bench: cannot read baseline: %s@." msg;
+      exit 2
+  in
+  let baseline =
+    match Baseline.of_string contents with
+    | Ok d -> d
+    | Error msg ->
+        Format.eprintf "bench: %s: %s@." file msg;
+        exit 2
+  in
+  let known, unknown =
+    List.partition (fun n -> List.mem_assoc n bench_groups) (Baseline.groups baseline)
+  in
+  if unknown <> [] then
+    Format.eprintf "bench: baseline names unknown bench groups: %s@."
+      (String.concat " " unknown);
+  if known = [] then begin
+    Format.eprintf "bench: baseline %s names no runnable bench groups@." file;
+    exit 2
+  end;
+  let current =
+    match
+      Baseline.of_json (bechamel_doc (List.map (fun n -> (n, bench_group n)) known))
+    with
+    | Ok d -> d
+    | Error msg ->
+        Format.eprintf "bench: internal error building current document: %s@." msg;
+        exit 2
+  in
+  let report =
+    Baseline.compare_docs ~threshold_pct:!threshold ~baseline ~current
+  in
+  Format.printf "%a" Baseline.pp report;
+  if not (Baseline.ok report) then exit 1
+
 let run_json names =
   let names = if names = [] then Report.experiment_names else names in
   List.iter
@@ -289,8 +410,9 @@ let run_json names =
   let doc = Report.all ~names ~runtime:true (Lazy.force h) in
   print_endline (Psb_obs.Json.to_string doc)
 
-(* Strip -j N / --jobs N / -jN (setting [jobs]) and --no-verify (clearing
-   [verify]) from anywhere in argv. *)
+(* Strip -j N / --jobs N / -jN (setting [jobs]), --no-verify (clearing
+   [verify]), --baseline FILE and --threshold PCT from anywhere in
+   argv. *)
 let parse_jobs args =
   let set n =
     match int_of_string_opt n with
@@ -313,6 +435,23 @@ let parse_jobs args =
     | "--no-verify" :: rest ->
         verify := false;
         go acc rest
+    | "--baseline" :: [] ->
+        Format.eprintf "bench: --baseline expects a file@.";
+        exit 2
+    | "--baseline" :: f :: rest ->
+        baseline_file := Some f;
+        go acc rest
+    | "--threshold" :: [] ->
+        Format.eprintf "bench: --threshold expects a percentage@.";
+        exit 2
+    | "--threshold" :: p :: rest ->
+        (match float_of_string_opt p with
+        | Some v when v > 0. -> threshold := v
+        | Some _ | None ->
+            Format.eprintf
+              "bench: --threshold expects a positive percentage, got %s@." p;
+            exit 2);
+        go acc rest
     | a :: rest -> go (a :: acc) rest
   in
   go [] args
@@ -323,6 +462,12 @@ let () =
     ~finally:(fun () ->
       if Lazy.is_val pool then Option.iter Pool.shutdown (Lazy.force pool))
     (fun () ->
+      match (!baseline_file, args) with
+      | Some f, [] -> run_baseline f
+      | Some _, _ ->
+          Format.eprintf "bench: --baseline takes no experiment arguments@.";
+          exit 2
+      | None, args -> (
       match args with
       | [] -> run_all ()
       | "bechamel" :: rest ->
@@ -333,4 +478,4 @@ let () =
           in
           run_bechamel ~json names
       | "--json" :: names -> run_json names
-      | names -> List.iter run_one names)
+      | names -> List.iter run_one names))

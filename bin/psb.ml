@@ -8,6 +8,7 @@
      trace WORKLOAD         emit a run as Chrome trace-event JSON
      timeline WORKLOAD      human-readable machine event log
      profile WORKLOAD       cycle-accounting breakdown, hot blocks, metrics
+     speculate WORKLOAD     per-region speculation scorecards
      verify [WORKLOAD]      static speculation-safety check of compiled code
      speedup WORKLOAD       all models side by side
      experiments [NAME..]   regenerate the paper's tables and figures *)
@@ -27,7 +28,16 @@ let wconv =
         match Suite.find s with
         | w -> Ok w
         | exception Not_found ->
-            Error (`Msg ("unknown workload " ^ s ^ "; try `psb list`"))),
+            let names =
+              List.map
+                (fun (w : Dsl.t) -> w.Dsl.name)
+                (Suite.all @ Suite.extras)
+            in
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown workload %s; available: %s (see `psb list`)" s
+                   (String.concat ", " names)))),
       fun ppf (w : Dsl.t) -> Format.pp_print_string ppf w.Dsl.name )
 
 let workload_arg =
@@ -296,6 +306,96 @@ let trace_cmd =
       const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ out
       $ limit)
 
+(* ----- speculate: per-region speculation scorecards ----- *)
+
+let speculate_cmd =
+  let run (w : Dsl.t) model issue opt json capacity =
+    let machine = machine_of_issue issue in
+    let program = preoptimize opt w.Dsl.program in
+    let _, profile =
+      Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let compiled = Driver.compile ~model ~machine ~profile program in
+    if compiled.Driver.pcode = None then begin
+      Format.eprintf "model %s is not executable; pick one of:@." model.Model.name;
+      List.iter
+        (fun (m : Model.t) ->
+          if m.Model.executable then Format.eprintf "  %s@." m.Model.name)
+        Model.all;
+      exit 1
+    end;
+    let events = Psb_obs.Events.create ~capacity () in
+    let res =
+      Driver.run_vliw compiled ~events ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+    in
+    let prof =
+      Psb_obs.Spec_profile.of_events ~total_cycles:res.Vliw_sim.cycles events
+    in
+    if json then begin
+      let open Psb_obs.Json in
+      let doc =
+        obj
+          [
+            ("workload", String w.Dsl.name);
+            ("model", String model.Model.name);
+            ("cycles", Int res.Vliw_sim.cycles);
+            ( "cycle_breakdown",
+              Obj
+                (List.map
+                   (fun (k, v) -> (k, Int v))
+                   (Vliw_sim.breakdown_fields res.Vliw_sim.breakdown)) );
+            ("speculation", Psb_obs.Spec_profile.to_json prof);
+          ]
+      in
+      print_endline (to_string doc)
+    end
+    else begin
+      Format.printf "workload: %s  (model %s), %a in %d cycles@.@." w.Dsl.name
+        model.Model.name Interp.pp_outcome res.Vliw_sim.outcome
+        res.Vliw_sim.cycles;
+      Format.printf "%a@." Psb_obs.Spec_profile.pp prof
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON document instead of text.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Event ring capacity (default 1048576). The scorecards only \
+             reconcile with the machine's cycle accounting when no events \
+             are dropped.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles and runs $(i,WORKLOAD) with the structured speculation \
+         event log attached, then folds the stream into per-region \
+         scorecards: residency cycles, useful vs wasted issue cycles, \
+         shadow-register and store-buffer commit/squash outcomes, \
+         forwarding hits, D-cache flushes, deferred/raised faults, and \
+         buffered-value lifetime / store-buffer dwell quantiles.";
+      `P
+        "The final line reports reconciliation: per-region residencies \
+         telescope to exactly the machine's cycle count, useful/wasted \
+         sums match the cycle-accounting breakdown, and no events were \
+         dropped. See docs/OBSERVABILITY.md for the schema.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "speculate" ~man
+       ~doc:"Per-region speculation scorecards (squash rates, lifetimes)")
+    Term.(
+      const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ json
+      $ capacity)
+
 (* ----- profile: where did the cycles go ----- *)
 
 let profile_cmd =
@@ -375,6 +475,23 @@ let profile_cmd =
       List.iter
         (fun (l, n) -> Format.printf "  %-12s %8d executions@." (Label.name l) n)
         hot;
+      (* Quantile summary of the machine's per-cycle distributions. The
+         find-or-create leaves buckets unspecified so it never conflicts
+         with the layout the simulator created them with. *)
+      let quantiles name title =
+        let h = Psb_obs.Metrics.histogram metrics name in
+        if Psb_obs.Metrics.histogram_count h > 0 then
+          let q p =
+            Option.value (Psb_obs.Metrics.histogram_quantile h p)
+              ~default:Float.nan
+          in
+          Format.printf "  %-22s p50=%g p90=%g p99=%g@." title (q 0.5) (q 0.9)
+            (q 0.99)
+      in
+      Format.printf "@.distributions:@.";
+      quantiles "vliw_sb_occupancy" "store-buffer occupancy";
+      quantiles "vliw_bundle_ops" "executed ops/bundle";
+      quantiles "compile_seconds" "compile time (s)";
       Format.printf "@.metrics:@.%a@." Psb_obs.Metrics.pp metrics
     end
   in
@@ -727,6 +844,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; compile_cmd; sim_cmd; speedup_cmd; trace_cmd;
-            timeline_cmd; profile_cmd; verify_cmd; exec_cmd; pexec_cmd;
-            experiments_cmd;
+            timeline_cmd; profile_cmd; speculate_cmd; verify_cmd; exec_cmd;
+            pexec_cmd; experiments_cmd;
           ]))

@@ -62,14 +62,15 @@ val run_vliw :
   ?regfile_mode:Psb_machine.Regfile.mode ->
   ?pred_kernel:Psb_machine.Pred_kernel.mode ->
   ?on_event:(int -> Vliw_sim.event -> unit) ->
+  ?events:Psb_obs.Events.t ->
   ?metrics:Psb_obs.Metrics.t ->
   compiled ->
   regs:(Reg.t * int) list ->
   mem:Memory.t ->
   Vliw_sim.result
 (** Execute the compiled predicated code on the machine simulator;
-    [pred_kernel], [on_event] and [metrics] are passed through to
-    {!Vliw_sim.run}.
+    [pred_kernel], [on_event], [events] and [metrics] are passed through
+    to {!Vliw_sim.run}.
     @raise Invalid_argument if the model is not executable. *)
 
 val code_size : compiled -> int

@@ -1,0 +1,140 @@
+module Json = Psb_obs.Json
+
+(* Group order and per-group row order both follow the document, so a
+   report reads in the same order as the baseline file. *)
+type doc = { doc_groups : (string * (string * float) list) list }
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.String "psb-bechamel-v1") -> Ok ()
+    | Some (Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
+    | _ -> Error "missing \"schema\" marker (want psb-bechamel-v1)"
+  in
+  let* groups =
+    match Json.member "groups" json with
+    | Some (Json.List gs) -> Ok gs
+    | _ -> Error "missing \"groups\" list"
+  in
+  let result r =
+    match (Json.member "name" r, Json.member "ns_per_run" r) with
+    | Some (Json.String n), Some v -> (
+        match Json.to_float v with
+        | Some ns -> Ok (n, ns)
+        | None -> Error (Printf.sprintf "result %S: ns_per_run not a number" n))
+    | _ -> Error "result without \"name\"/\"ns_per_run\""
+  in
+  let group g =
+    match (Json.member "name" g, Json.member "results" g) with
+    | Some (Json.String n), Some (Json.List rs) ->
+        let* rows =
+          List.fold_left
+            (fun acc r ->
+              let* acc = acc in
+              let* row = result r in
+              Ok (row :: acc))
+            (Ok []) rs
+        in
+        Ok (n, List.rev rows)
+    | _ -> Error "group without \"name\"/\"results\""
+  in
+  let* doc_groups =
+    List.fold_left
+      (fun acc g ->
+        let* acc = acc in
+        let* g = group g in
+        Ok (g :: acc))
+      (Ok []) groups
+  in
+  Ok { doc_groups = List.rev doc_groups }
+
+let of_string s = Result.bind (Json.parse s) of_json
+let groups d = List.map fst d.doc_groups
+
+type row = {
+  name : string;
+  baseline_ns : float;
+  current_ns : float option;
+  delta_pct : float;
+  regressed : bool;
+}
+
+type report = { threshold_pct : float; rows : row list }
+
+let compare_docs ~threshold_pct ~baseline ~current =
+  let flat d = List.concat_map snd d.doc_groups in
+  let cur = flat current in
+  let rows =
+    List.map
+      (fun (name, baseline_ns) ->
+        match List.assoc_opt name cur with
+        | None ->
+            {
+              name;
+              baseline_ns;
+              current_ns = None;
+              delta_pct = Float.nan;
+              regressed = true;
+            }
+        | Some ns ->
+            let delta_pct = (ns -. baseline_ns) /. baseline_ns *. 100. in
+            {
+              name;
+              baseline_ns;
+              current_ns = Some ns;
+              delta_pct;
+              regressed = ns > baseline_ns *. (1. +. (threshold_pct /. 100.));
+            })
+      (flat baseline)
+  in
+  { threshold_pct; rows }
+
+let ok r = not (List.exists (fun row -> row.regressed) r.rows)
+
+let pp ppf r =
+  Format.fprintf ppf "%-40s %14s %14s %9s@." "benchmark" "baseline ns"
+    "current ns" "delta";
+  List.iter
+    (fun row ->
+      match row.current_ns with
+      | None ->
+          Format.fprintf ppf "%-40s %14.1f %14s %9s  REGRESSED@." row.name
+            row.baseline_ns "missing" "-"
+      | Some ns ->
+          Format.fprintf ppf "%-40s %14.1f %14.1f %+8.1f%%%s@." row.name
+            row.baseline_ns ns row.delta_pct
+            (if row.regressed then "  REGRESSED" else ""))
+    r.rows;
+  let n_reg = List.length (List.filter (fun row -> row.regressed) r.rows) in
+  if ok r then
+    Format.fprintf ppf "PASS: %d benchmarks within +%g%% of baseline@."
+      (List.length r.rows) r.threshold_pct
+  else
+    Format.fprintf ppf "FAIL: %d of %d benchmarks regressed past +%g%%@." n_reg
+      (List.length r.rows) r.threshold_pct
+
+let to_json r =
+  Json.Obj
+    [
+      ("threshold_pct", Json.Float r.threshold_pct);
+      ("ok", Json.Bool (ok r));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.obj
+                 [
+                   ("name", Json.String row.name);
+                   ("baseline_ns", Json.Float row.baseline_ns);
+                   ( "current_ns",
+                     match row.current_ns with
+                     | Some ns -> Json.Float ns
+                     | None -> Json.Null );
+                   ( "delta_pct",
+                     if Float.is_nan row.delta_pct then Json.Null
+                     else Json.Float row.delta_pct );
+                   ("regressed", Json.Bool row.regressed);
+                 ])
+             r.rows) );
+    ]

@@ -1,0 +1,58 @@
+(** Benchmark regression gating: compare a fresh Bechamel run against a
+    recorded [psb-bechamel-v1] document (the [BENCH_*.json] files checked
+    into the repo root) and fail past a configurable slowdown threshold —
+    so the perf trajectory is a gate, not just an artifact.
+
+    Both sides of the comparison are the same schema ([bench bechamel
+    --json] output), so a baseline can be re-recorded by redirecting that
+    command; [bench --baseline FILE.json] then runs exactly the groups
+    the baseline names and exits non-zero on a regression or a missing
+    benchmark. Timings are noisy — thresholds are meant to be generous
+    (CI uses hundreds of percent to catch order-of-magnitude cliffs, not
+    single-digit drift). *)
+
+module Json = Psb_obs.Json
+
+type doc
+(** A parsed [psb-bechamel-v1] document: benchmark name → ns/run. *)
+
+val of_json : Json.t -> (doc, string) result
+(** Checks the ["schema"] marker and the group/result shape; the error
+    says what was malformed. *)
+
+val of_string : string -> (doc, string) result
+(** {!Json.parse} then {!of_json}. *)
+
+val groups : doc -> string list
+(** Group names, in document order — the groups a gated run must
+    re-measure. *)
+
+type row = {
+  name : string;
+  baseline_ns : float;
+  current_ns : float option;  (** [None]: missing from the current run *)
+  delta_pct : float;  (** (current - baseline) / baseline × 100; [nan]
+                          when missing *)
+  regressed : bool;
+}
+
+type report = {
+  threshold_pct : float;
+  rows : row list;  (** baseline order *)
+}
+
+val compare_docs : threshold_pct:float -> baseline:doc -> current:doc -> report
+(** A row regresses when [current_ns > baseline_ns × (1 + threshold/100)]
+    or when the benchmark vanished from the current run. Benchmarks only
+    present in the current run are ignored (new benchmarks are not
+    regressions). *)
+
+val ok : report -> bool
+(** No regressed rows. *)
+
+val pp : Format.formatter -> report -> unit
+(** Per-benchmark delta table plus a PASS/FAIL summary line. *)
+
+val to_json : report -> Json.t
+(** [{"threshold_pct", "ok", "rows": [{"name", "baseline_ns",
+    "current_ns", "delta_pct", "regressed"}...]}]. *)

@@ -237,6 +237,45 @@ let experiment (h : Harness.t) = function
   | "hwcost" -> Some (hwcost_json (Hwcost.analyze Hwcost.default))
   | _ -> None
 
+(* Per-workload speculation scorecards (schema 3): each workload runs
+   once on the flagship executable model with the structured event log
+   attached, and the folded profile is summarised per region. *)
+let speculation_json (h : Harness.t) =
+  let model = Model.region_pred in
+  Json.Obj
+    (List.map
+       (fun (e : Harness.entry) ->
+         let events = Psb_obs.Events.create ~capacity:(1 lsl 20) () in
+         let res = Harness.measured h ~events model e in
+         let prof =
+           Psb_obs.Spec_profile.of_events
+             ~total_cycles:res.Harness.Vliw_sim.cycles events
+         in
+         ( e.Harness.workload.Psb_workloads.Dsl.name,
+           Json.Obj
+             [
+               ("model", str model.Model.name);
+               ("cycles", Json.Int res.Harness.Vliw_sim.cycles);
+               ( "reconciles",
+                 Json.Bool (Psb_obs.Spec_profile.reconciles prof) );
+               ("commits", Json.Int (Psb_obs.Spec_profile.commit_total prof));
+               ( "regions",
+                 Json.List
+                   (List.map
+                      (fun (c : Psb_obs.Spec_profile.card) ->
+                        Json.Obj
+                          [
+                            ("region", str c.Psb_obs.Spec_profile.region);
+                            ("cycles", Json.Int c.Psb_obs.Spec_profile.cycles);
+                            ("useful", Json.Int c.Psb_obs.Spec_profile.useful);
+                            ("wasted", Json.Int c.Psb_obs.Spec_profile.wasted);
+                            ( "squash_rate",
+                              flt (Psb_obs.Spec_profile.squash_rate c) );
+                          ])
+                      (Psb_obs.Spec_profile.cards prof)) );
+             ] ))
+       h.Harness.entries)
+
 (* The "runtime" section is the one part of the document that is NOT
    deterministic (wall-clock, per-domain load, cache traffic depend on
    scheduling): consumers comparing documents across [-j] levels strip
@@ -274,6 +313,7 @@ let runtime_json (h : Harness.t) ~wall_seconds ~per_experiment =
       ( "experiments_wall_seconds",
         Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) per_experiment) );
       ("wall_seconds", Json.Float wall_seconds);
+      ("speculation", speculation_json h);
     ]
 
 let all ?(names = experiment_names) ?(runtime = false) h =
@@ -292,7 +332,7 @@ let all ?(names = experiment_names) ?(runtime = false) h =
   in
   Json.Obj
     ([
-       ("schema_version", Json.Int 2);
+       ("schema_version", Json.Int 3);
        ("experiments", Json.Obj experiments);
      ]
     @

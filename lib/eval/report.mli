@@ -4,7 +4,7 @@
 
     Document shape:
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "experiments": {
         "table2":     [ {"name", "lines", "scalar_cycles"} ... ],
         "table3":     [ {"name", "accuracy": [..8 floats..]} ... ],
@@ -29,8 +29,17 @@
                         "busy_seconds"}..],
                         "compile_cache": {"hits","misses","entries"},
                         "experiments_wall_seconds": {name: seconds, ..},
-                        "wall_seconds" } }
+                        "wall_seconds",
+                        "speculation": {workload:
+                          {"model", "cycles", "reconciles", "commits",
+                           "regions": [{"region","cycles","useful",
+                           "wasted","squash_rate"}..]}, ..} } }
     v}
+
+    Schema 3 adds the "speculation" member: per-workload speculation
+    scorecards from one {!Psb_obs.Spec_profile} run of the flagship
+    executable model ({!Psb_compiler.Model.region_pred}) with the
+    structured event log attached.
 
     Everything under "experiments" is deterministic — byte-identical at
     any [-j] level. "runtime" is the sole nondeterministic member

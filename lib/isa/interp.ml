@@ -80,8 +80,8 @@ let charge env op =
 
 let default_fuel = 30_000_000
 
-let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ~regs ~mem
-    program =
+let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ?on_block ~regs
+    ~mem program =
   let nregs = max 1 (Program.max_reg program + 1) in
   let nregs =
     List.fold_left (fun m (r, _) -> max m (Reg.index r + 1)) nregs regs
@@ -122,6 +122,7 @@ let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ~regs ~mem
     if env.dyn_instrs > fuel then finish Out_of_fuel
     else begin
       if record_trace then env.trace_rev <- label :: env.trace_rev;
+      (match on_block with None -> () | Some f -> f env.cycles label);
       let b = Program.find program label in
       List.iter
         (fun op ->

@@ -25,6 +25,7 @@ val run :
   ?fuel:int ->
   ?record_trace:bool ->
   ?observer:(Instr.op -> int option -> unit) ->
+  ?on_block:(int -> Label.t -> unit) ->
   regs:(Reg.t * int) list ->
   mem:Memory.t ->
   Program.t ->
@@ -33,7 +34,9 @@ val run :
     [record_trace] (default true) controls whether [block_trace] is kept.
     [observer] is called for every executed operation with the memory
     address it touches, if any — the hook behind trace-driven analyses
-    such as the ILP limit study. [mem] is mutated in place. *)
+    such as the ILP limit study. [on_block] is called with the current
+    cycle count on every block entry (regardless of [record_trace]) —
+    the hook behind per-block timelines. [mem] is mutated in place. *)
 
 val equivalent : result -> result -> bool
 (** Same outcome, output and final registers — used to check that compiled

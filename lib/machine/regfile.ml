@@ -17,6 +17,8 @@ type entry = {
 
 type t = {
   mode : mode;
+  events : Psb_obs.Events.t option;
+  mutable now : int; (* cycle stamp for emitted events, set by the sim *)
   entries : entry array;
   mutable conflicts : int;
   mutable spec_writes : int;
@@ -33,9 +35,11 @@ type t = {
   mutable tick_skipped : int;
 }
 
-let create ?(mode = Single) ~nregs () =
+let create ?(mode = Single) ?events ~nregs () =
   {
     mode;
+    events;
+    now = 0;
     entries =
       Array.init (max nregs 1) (fun _ ->
           { seq = 0; written = false; versions = [] });
@@ -52,6 +56,12 @@ let create ?(mode = Single) ~nregs () =
 
 let nregs t = Array.length t.entries
 let mode t = t.mode
+let set_now t cycle = t.now <- cycle
+
+let ev t kind a b =
+  match t.events with
+  | None -> ()
+  | Some e -> Psb_obs.Events.emit e ~cycle:t.now kind ~a ~b
 let entry t r = t.entries.(Reg.index r)
 let read_seq t r = (entry t r).seq
 
@@ -85,6 +95,7 @@ let count_fault = function Some _ -> 1 | None -> 0
 let write_spec t r value ~cpred ~fault =
   let e = entry t r in
   t.spec_writes <- t.spec_writes + 1;
+  ev t Psb_obs.Events.Shadow_write (Reg.index r) value;
   (* A same-predicate rewrite (speculative WAW on one path) takes the new
      value, but flag E is sticky: an outstanding exception buffered in the
      overwritten version must still be detected when the predicate commits
@@ -185,6 +196,7 @@ let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
               | Pred.True ->
                   assert (v.fault = None);
                   t.commits <- t.commits + 1;
+                  ev t Psb_obs.Events.Shadow_commit idx v.value;
                   e.seq <- v.value;
                   e.written <- true;
                   e.versions <- [];
@@ -192,6 +204,7 @@ let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
                   events := (Reg.make idx, `Commit) :: !events
               | Pred.False ->
                   t.squashes <- t.squashes + 1;
+                  ev t Psb_obs.Events.Shadow_squash idx 0;
                   t.faults <- t.faults - count_fault v.fault;
                   e.versions <- [];
                   t.live <- t.live - 1;
@@ -209,6 +222,7 @@ let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
                   | Pred.True -> committing := v :: !committing
                   | Pred.False ->
                       squashed := !squashed + 1;
+                      ev t Psb_obs.Events.Shadow_squash idx 0;
                       t.faults <- t.faults - count_fault v.fault
                   | Pred.Unspec -> keep_rev := v :: !keep_rev)
                 versions;
@@ -221,6 +235,7 @@ let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
                     (fun v ->
                       assert (v.fault = None);
                       t.commits <- t.commits + 1;
+                      ev t Psb_obs.Events.Shadow_commit idx v.value;
                       e.seq <- v.value;
                       e.written <- true)
                     winners;
@@ -235,6 +250,14 @@ let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
   end
 
 let invalidate_spec t =
+  (match t.events with
+  | None -> ()
+  | Some _ when t.live = 0 -> ()
+  | Some _ ->
+      Array.iteri
+        (fun idx e ->
+          List.iter (fun _ -> ev t Psb_obs.Events.Shadow_squash idx 1) e.versions)
+        t.entries);
   Array.iter (fun e -> e.versions <- []) t.entries;
   t.live <- 0;
   t.faults <- 0

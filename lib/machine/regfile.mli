@@ -24,9 +24,20 @@ type mode = Single | Infinite
 
 type t
 
-val create : ?mode:mode -> nregs:int -> unit -> t
+val create : ?mode:mode -> ?events:Psb_obs.Events.t -> nregs:int -> unit -> t
+(** [events], when given, receives the shadow-state lifecycle:
+    [Shadow_write] on every speculative write attempt (conflicts
+    included, matching {!spec_writes}), [Shadow_commit]/[Shadow_squash]
+    from {!tick} (squash payload [b = 0]) and [Shadow_squash] with
+    [b = 1] from {!invalidate_spec}. Absent, nothing is recorded and
+    nothing is paid. *)
+
 val nregs : t -> int
 val mode : t -> mode
+
+val set_now : t -> int -> unit
+(** Stamp subsequent emitted events with this cycle. The owning
+    simulator calls it once per cycle (only when events are attached). *)
 
 val read_seq : t -> Reg.t -> int
 

@@ -11,6 +11,7 @@ val run :
   ?fuel:int ->
   ?record_trace:bool ->
   ?observer:(Instr.op -> int option -> unit) ->
+  ?events:Psb_obs.Events.t ->
   ?metrics:Psb_obs.Metrics.t ->
   regs:(Reg.t * int) list ->
   mem:Memory.t ->
@@ -19,7 +20,11 @@ val run :
 (** [metrics] collects per-class dynamic instruction counters
     ([scalar_ops{class=alu|load|...}]), memory-access and cycle totals —
     the same registry the VLIW machine and the compiler report into, so
-    one dump covers a whole compile-and-run pipeline. *)
+    one dump covers a whole compile-and-run pipeline.
+
+    [events] records one [Region_enter] per block entered (the scalar
+    machine never speculates, so its stream is just the block
+    timeline). *)
 
 val cycles :
   regs:(Reg.t * int) list -> mem:Memory.t -> Program.t -> int

@@ -18,6 +18,8 @@ type entry = {
    representation paid an O(n) [entries @ [e]] per append), drains pop at
    the head, and iteration walks indices — no per-cycle allocation. *)
 type t = {
+  events : Psb_obs.Events.t option;
+  mutable now : int; (* cycle stamp for emitted events, set by the sim *)
   mutable buf : entry array;
   mutable head : int;
   mutable count : int;
@@ -48,8 +50,10 @@ let dummy =
 
 let initial_capacity = 16
 
-let create () =
+let create ?events () =
   {
+    events;
+    now = 0;
     buf = Array.make initial_capacity dummy;
     head = 0;
     count = 0;
@@ -64,6 +68,12 @@ let create () =
   }
 
 let nth t i = t.buf.((t.head + i) mod Array.length t.buf)
+let set_now t cycle = t.now <- cycle
+
+let ev t kind a b =
+  match t.events with
+  | None -> ()
+  | Some e -> Psb_obs.Events.emit e ~cycle:t.now kind ~a ~b
 
 let grow t =
   let cap = Array.length t.buf in
@@ -83,6 +93,7 @@ let append t ~addr ~value ~cpred ~spec ~fault =
   let e = { addr; value; cpred; spec; valid = true; examined = false; fault } in
   t.buf.((t.head + t.count) mod Array.length t.buf) <- e;
   t.count <- t.count + 1;
+  ev t Psb_obs.Events.Sb_append addr (if spec then 1 else 0);
   if spec then begin
     t.spec_appends <- t.spec_appends + 1;
     t.spec_live <- t.spec_live + 1;
@@ -121,11 +132,13 @@ let tick ?(mode = Pred_kernel.Mask) ?(dirty = -1) t ccr =
         | Pred.True ->
             assert (e.fault = None);
             t.commits <- t.commits + 1;
+            ev t Psb_obs.Events.Sb_commit e.addr 0;
             e.spec <- false;
             t.spec_live <- t.spec_live - 1;
             events := (e.addr, `Commit) :: !events
         | Pred.False ->
             t.squashes <- t.squashes + 1;
+            ev t Psb_obs.Events.Sb_squash e.addr 0;
             e.valid <- false;
             t.spec_live <- t.spec_live - 1;
             t.faults <- t.faults - count_fault e;
@@ -169,6 +182,7 @@ let drain t ~max:limit mem =
       | Some (Fault.Mem f) -> raise (Memory.Fault f)
       | Some (Fault.Arith _) | None -> ());
       Memory.write mem e.addr e.value;
+      ev t Psb_obs.Events.Sb_flush e.addr e.value;
       incr written;
       pop_head t
     end
@@ -189,8 +203,10 @@ let forward ?(mode = Pred_kernel.Mask) t ~addr ~load_pred ccr =
       let e = nth t i in
       if not (e.valid && e.addr = addr) then search (i - 1)
       else if Pred.disjoint (Pred.source e.cpred) load_pred then search (i - 1)
-      else if (not e.spec) || Pred.implies load_pred (Pred.source e.cpred) then
+      else if (not e.spec) || Pred.implies load_pred (Pred.source e.cpred) then begin
+        ev t Psb_obs.Events.Sb_forward e.addr e.value;
         `Hit (e.value, e.fault)
+      end
       else
         let v =
           match mode with
@@ -198,7 +214,9 @@ let forward ?(mode = Pred_kernel.Mask) t ~addr ~load_pred ccr =
           | Pred_kernel.Map -> Ccr.eval ccr (Pred.source e.cpred)
         in
         match v with
-        | Pred.True -> `Hit (e.value, e.fault)
+        | Pred.True ->
+            ev t Psb_obs.Events.Sb_forward e.addr e.value;
+            `Hit (e.value, e.fault)
         | Pred.False -> search (i - 1)
         | Pred.Unspec -> `Commit_dependence
   in
@@ -211,7 +229,10 @@ let invalidate_spec t =
   let kept = ref [] in
   for i = t.count - 1 downto 0 do
     let e = nth t i in
-    if e.spec then e.valid <- false;
+    if e.spec then begin
+      if e.valid then ev t Psb_obs.Events.Sb_squash e.addr 1;
+      e.valid <- false
+    end;
     if e.valid then kept := e :: !kept
   done;
   Array.fill t.buf 0 (Array.length t.buf) dummy;

@@ -16,7 +16,17 @@ open Psb_isa
 
 type t
 
-val create : unit -> t
+val create : ?events:Psb_obs.Events.t -> unit -> t
+(** [events], when given, receives the buffer lifecycle: [Sb_append] on
+    every store (payload [b = 1] when speculative), [Sb_commit] and
+    [Sb_squash] ([b = 0]) from {!tick}, [Sb_forward] on forwarding hits,
+    [Sb_flush] per D-cache write from {!drain}, and [Sb_squash] with
+    [b = 1] from {!invalidate_spec}. Absent, nothing is recorded and
+    nothing is paid. *)
+
+val set_now : t -> int -> unit
+(** Stamp subsequent emitted events with this cycle. The owning
+    simulator calls it once per cycle (only when events are attached). *)
 
 val append :
   t -> addr:int -> value:int -> cpred:Pred.compiled -> spec:bool ->

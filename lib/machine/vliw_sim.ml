@@ -150,6 +150,7 @@ type state = {
   model : Machine_model.t;
   pred_kernel : Pred_kernel.mode;
   on_event : (int -> event -> unit) option;
+  events : Psb_obs.Events.t option;
   sb_hist : Psb_obs.Metrics.histogram option;
   bundle_hist : Psb_obs.Metrics.histogram option;
   code : Pcode.t;
@@ -196,6 +197,31 @@ type state = {
 let emit st ev =
   match st.on_event with None -> () | Some f -> f st.now ev
 
+(* Structured event-log emission (the [?events] channel). One branch on
+   the option when absent — the per-cycle hot path must not allocate. *)
+let eev st kind ~a ~b =
+  match st.events with
+  | None -> ()
+  | Some e -> Psb_obs.Events.emit e ~cycle:st.now kind ~a ~b
+
+let region_id st label =
+  match st.events with
+  | None -> -1
+  | Some e -> Psb_obs.Events.intern e (Label.name label)
+
+(* Keep the regfile/store-buffer cycle stamps in step with [st.now]; they
+   emit events from inside their own operations. *)
+let sync_now st =
+  match st.events with
+  | None -> ()
+  | Some _ ->
+      Regfile.set_now st.rf st.now;
+      Store_buffer.set_now st.sb st.now
+
+let fault_addr = function
+  | Fault.Mem (Memory.Out_of_bounds a) | Fault.Mem (Memory.Unmapped a) -> a
+  | Fault.Arith _ -> -1
+
 (* Evaluate a compiled predicate under the selected kernel. The [Map]
    kernel re-evaluates the source condition map — the pre-bitmask
    reference semantics, kept for differential testing. *)
@@ -233,9 +259,13 @@ let handle_or_abort st fault =
     (match fault with
     | Fault.Mem f -> assert (Memory.handle_fault st.mem f)
     | Fault.Arith _ -> assert false);
+    eev st Psb_obs.Events.Fault_raised ~a:(fault_addr fault) ~b:1;
     st.faults_handled <- st.faults_handled + 1
   end
-  else raise (Abort fault)
+  else begin
+    eev st Psb_obs.Events.Fault_raised ~a:(fault_addr fault) ~b:0;
+    raise (Abort fault)
+  end
 
 (* A load access: store-buffer forwarding first, then the D-cache.
    Returns the value, or the fault if the access faults. *)
@@ -355,7 +385,11 @@ let issue_spec st (pi : Pcode.pinstr) =
     (* Decide what to do with a speculative fault. Returns
        (value, buffered fault). *)
     match future_value () with
-    | Pred.Unspec -> (0, Some f)
+    | Pred.Unspec ->
+        eev st Psb_obs.Events.Fault_deferred
+          ~a:(match addr_info with Some (addr, _) -> addr | None -> -1)
+          ~b:0;
+        (0, Some f)
     | Pred.False -> (0, None) (* ignored: result squashes under the future *)
     | Pred.True -> (
         handle_or_abort st f;
@@ -381,7 +415,9 @@ let issue_spec st (pi : Pcode.pinstr) =
         | None -> None
         | Some f -> (
             match future_value () with
-            | Pred.Unspec -> Some f
+            | Pred.Unspec ->
+                eev st Psb_obs.Events.Fault_deferred ~a:addr ~b:0;
+                Some f
             | Pred.False -> None
             | Pred.True ->
                 handle_or_abort st f;
@@ -538,11 +574,18 @@ let start_recovery st ~future =
 
 let take_exit st (target : Pcode.exit_target) =
   emit st (Region_exit target);
+  eev st Psb_obs.Events.Region_exit
+    ~a:(region_id st st.region.Pcode.name)
+    ~b:
+      (match target with
+      | Pcode.Stop -> -1
+      | Pcode.To_region l -> region_id st l);
   st.region_transitions <- st.region_transitions + 1;
   let extra = flush_pending st ~allow_cond:false in
   st.acct_transition <-
     st.acct_transition + extra + st.model.Machine_model.transition_penalty;
   st.now <- st.now + extra + st.model.Machine_model.transition_penalty;
+  sync_now st;
   (* A final resolve pass: writebacks applied during the flush may have
      buffered state whose predicate is already decided. *)
   ignore (Regfile.tick ~mode:st.pred_kernel ~dirty:(-1) st.rf st.ccr);
@@ -563,10 +606,12 @@ let take_exit st (target : Pcode.exit_target) =
       raise Halted_exn
   | Pcode.To_region l ->
       st.region <- Pcode.find_region st.code l;
+      eev st Psb_obs.Events.Region_enter ~a:(region_id st l) ~b:0;
       st.pc <- 0
 
 let step st ~fuel =
   if st.now > fuel then raise Fuel_exhausted;
+  sync_now st;
   (* 0. Recovery completion: reaching the EPC ends recovery mode; the
      future condition becomes the current condition (checked through the
      detection path like any CCR update). *)
@@ -624,6 +669,9 @@ let step st ~fuel =
           (fun (c, v) ->
             Ccr.set st.ccr c v;
             note_cond_write st c;
+            eev st
+              (if v then Psb_obs.Events.Pred_true else Psb_obs.Events.Pred_false)
+              ~a:(Cond.index c) ~b:0;
             emit st (Cond_set (c, v)))
           writes);
   (* 3. Commit/squash the buffered speculative state. *)
@@ -707,6 +755,8 @@ let step st ~fuel =
       List.fold_left (fun n (_, d) -> if d = k then n + 1 else n) 0 decisions
     in
     let executed = count `Nonspec + count `Spec in
+    if not in_recovery then
+      eev st Psb_obs.Events.Issue ~a:executed ~b:(count `Squash);
     if observing st then
       emit st
         (Bundle_issue
@@ -766,8 +816,8 @@ let step st ~fuel =
 let default_fuel = 60_000_000
 
 let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
-    ?(pred_kernel = Pred_kernel.default) ?on_event ?metrics ~model ~regs ~mem
-    (code : Pcode.t) =
+    ?(pred_kernel = Pred_kernel.default) ?on_event ?events ?metrics ~model
+    ~regs ~mem (code : Pcode.t) =
   let nregs =
     let m =
       List.fold_left
@@ -805,12 +855,13 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
       model;
       pred_kernel;
       on_event;
+      events;
       sb_hist;
       bundle_hist;
       code;
       mem;
-      rf = Regfile.create ~mode:regfile_mode ~nregs ();
-      sb = Store_buffer.create ();
+      rf = Regfile.create ~mode:regfile_mode ?events ~nregs ();
+      sb = Store_buffer.create ?events ();
       ccr = Ccr.create ~width:model.Machine_model.ccr_size;
       mode = Normal;
       region = Pcode.find_region code code.Pcode.entry;
@@ -843,6 +894,9 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
     }
   in
   List.iter (fun (r, v) -> Regfile.write_seq st.rf r v) regs;
+  eev st Psb_obs.Events.Region_enter
+    ~a:(region_id st st.region.Pcode.name)
+    ~b:0;
   let finish outcome =
     let breakdown =
       {

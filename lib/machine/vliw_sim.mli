@@ -122,6 +122,7 @@ val run :
   ?regfile_mode:Regfile.mode ->
   ?pred_kernel:Pred_kernel.mode ->
   ?on_event:(int -> event -> unit) ->
+  ?events:Psb_obs.Events.t ->
   ?metrics:Psb_obs.Metrics.t ->
   model:Machine_model.t ->
   regs:(Reg.t * int) list ->
@@ -133,6 +134,17 @@ val run :
     events with the cycle they occur in — the machine's observable
     timeline (compare Table 1). When neither [on_event] nor [metrics] is
     given the instrumentation costs nothing.
+
+    [events], independently of [on_event], records the speculation
+    lifecycle into a structured ring buffer ([Psb_obs.Events]): region
+    enter/exit (region names interned), predicate resolutions
+    ([Pred_true]/[Pred_false] per applied condition write), one normal-mode
+    [Issue] per issued bundle ([a] = executed slots, [b] = squashed
+    slots; recovery-mode bundles are deliberately not logged so that
+    useful/wasted sums reconcile with the {!breakdown}), shadow-register
+    and store-buffer lifecycles (via {!Regfile} and {!Store_buffer}), and
+    [Fault_deferred]/[Fault_raised]. Absent, the per-cycle path allocates
+    nothing on its behalf (enforced by a minor-words test).
 
     [pred_kernel] selects how per-cycle predicate evaluation runs
     (default {!Pred_kernel.default}): [Mask] uses the compiled bitmask

@@ -12,6 +12,10 @@ type t = {
   mutable lane_cycle : int;
   lanes : int array;  (* per unit class, next free lane this cycle *)
   mutable recovery_start : int option;
+  (* cumulative commit/squash counters rendered as Perfetto counter
+     tracks: the slopes make squash-heavy phases visible at a glance *)
+  mutable spec_commits : int;
+  mutable spec_squashes : int;
 }
 
 let class_index = function
@@ -35,6 +39,8 @@ let create ?(limit = 2_000_000) ~model () =
     lane_cycle = -1;
     lanes = Array.make 4 0;
     recovery_start = None;
+    spec_commits = 0;
+    spec_squashes = 0;
   }
 
 let issue_track t = Trace_event.track t.sink ~sort_index:1 "issue"
@@ -50,6 +56,16 @@ let shadow_track t = Trace_event.track t.sink ~sort_index:70 "shadow-regfile"
 let sb_track t = Trace_event.track t.sink ~sort_index:80 "store-buffer"
 
 let truncated t = t.truncated
+
+let note_commit t cycle =
+  t.spec_commits <- t.spec_commits + 1;
+  Trace_event.counter t.sink ~name:"spec-commits" ~ts:cycle
+    ~value:t.spec_commits
+
+let note_squash t cycle =
+  t.spec_squashes <- t.spec_squashes + 1;
+  Trace_event.counter t.sink ~name:"spec-squashes" ~ts:cycle
+    ~value:t.spec_squashes
 
 let on_event t cycle (ev : Vliw_sim.event) =
   if Trace_event.num_events t.sink >= t.limit then t.truncated <- true
@@ -115,18 +131,22 @@ let on_event t cycle (ev : Vliw_sim.event) =
           ~name:(Format.asprintf "%a := %b" Cond.pp c v)
           ~ts:cycle ()
     | Vliw_sim.Reg_commit r ->
+        note_commit t cycle;
         Trace_event.instant t.sink (shadow_track t)
           ~name:(Format.asprintf "commit %a" Reg.pp r)
           ~ts:cycle ()
     | Vliw_sim.Reg_squash r ->
+        note_squash t cycle;
         Trace_event.instant t.sink (shadow_track t)
           ~name:(Format.asprintf "squash %a" Reg.pp r)
           ~ts:cycle ()
     | Vliw_sim.Store_commit a ->
+        note_commit t cycle;
         Trace_event.instant t.sink (sb_track t)
           ~name:(Printf.sprintf "commit sb@%d" a)
           ~ts:cycle ()
     | Vliw_sim.Store_squash a ->
+        note_squash t cycle;
         Trace_event.instant t.sink (sb_track t)
           ~name:(Printf.sprintf "squash sb@%d" a)
           ~ts:cycle ()

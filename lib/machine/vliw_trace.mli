@@ -16,7 +16,10 @@
     - [ccr] — condition writes as instant markers;
     - [shadow-regfile] — speculative commits and squashes;
     - [store-buffer] — store commits/squashes, plus an occupancy counter
-      series rendered as an area chart. *)
+      series rendered as an area chart;
+    - [spec-commits] / [spec-squashes] — cumulative counter series over
+      all buffered speculative state (shadow registers + store buffer);
+      their slopes make squash-heavy phases visible at a glance. *)
 
 type t
 

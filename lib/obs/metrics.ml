@@ -36,11 +36,34 @@ let counter_value c = c.value
 
 let default_buckets = [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ]
 
-let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+let histogram t ?(labels = []) ?buckets name =
   let labels = norm_labels labels in
   match Hashtbl.find_opt t.histograms (name, labels) with
-  | Some h -> h
+  | Some h ->
+      (* Buckets are fixed by the first creation; a caller asking for a
+         different layout would silently observe into the wrong buckets,
+         so reject the mismatch instead (explicitly re-passing the
+         original layout stays fine — Metrics.time does). *)
+      (match buckets with
+      | None -> ()
+      | Some buckets ->
+          let asked = Array.of_list (List.sort_uniq compare buckets) in
+          if asked <> h.bounds then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.histogram: %s%s already exists with different \
+                  buckets"
+                 name
+                 (match labels with
+                 | [] -> ""
+                 | l ->
+                     "{"
+                     ^ String.concat ","
+                         (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+                     ^ "}")));
+      h
   | None ->
+      let buckets = Option.value buckets ~default:default_buckets in
       let bounds = Array.of_list (List.sort_uniq compare buckets) in
       let h =
         {
@@ -73,6 +96,39 @@ let histogram_sum h = h.sum
 
 let histogram_mean h =
   if h.count = 0 then 0. else h.sum /. float_of_int h.count
+
+(* Prometheus-style quantile estimation from cumulative buckets: find the
+   bucket holding the target rank and interpolate linearly inside it. The
+   first bucket's lower edge is the observed minimum (not 0 — values may
+   be negative), the +inf bucket degrades to the observed maximum, and
+   the result is clamped to [min, max] so an estimate never leaves the
+   observed range. *)
+let histogram_quantile h q =
+  if h.count = 0 then None
+  else if q <= 0. then Some h.min
+  else if q >= 1. then Some h.max
+  else begin
+    let target = q *. float_of_int h.count in
+    let nbounds = Array.length h.bounds in
+    let rec go i cum =
+      if i > nbounds then Some h.max
+      else
+        let cum' = cum + h.bucket_counts.(i) in
+        if float_of_int cum' < target then go (i + 1) cum'
+        else if i = nbounds then Some h.max (* +inf bucket *)
+        else begin
+          let hi = h.bounds.(i) in
+          let lo = if i = 0 then Float.min h.min hi else h.bounds.(i - 1) in
+          let frac =
+            if h.bucket_counts.(i) = 0 then 1.
+            else (target -. float_of_int cum) /. float_of_int h.bucket_counts.(i)
+          in
+          let v = lo +. ((hi -. lo) *. frac) in
+          Some (Float.max h.min (Float.min h.max v))
+        end
+    in
+    go 0 0
+  end
 
 let time t ?labels name f =
   let h = histogram t ?labels ~buckets:[ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ] name in
@@ -117,6 +173,11 @@ let to_json t =
                  in
                  Json.Obj [ ("le", le); ("count", Json.Int h.bucket_counts.(i)) ])
            in
+           let quantile q =
+             match histogram_quantile h q with
+             | None -> Json.Null
+             | Some v -> Json.Float v
+           in
            Json.obj
              [
                ("name", Json.String h.h_name);
@@ -125,6 +186,9 @@ let to_json t =
                ("sum", Json.Float h.sum);
                ("min", if h.count = 0 then Json.Null else Json.Float h.min);
                ("max", if h.count = 0 then Json.Null else Json.Float h.max);
+               ("p50", quantile 0.5);
+               ("p90", quantile 0.9);
+               ("p99", quantile 0.99);
                ("buckets", Json.List buckets);
              ])
   in
@@ -147,9 +211,12 @@ let pp ppf t =
     (fun h ->
       if h.count = 0 then
         Format.fprintf ppf "%s%a (empty)@," h.h_name pp_labels h.h_labels
-      else
-        Format.fprintf ppf "%s%a count=%d sum=%g mean=%g min=%g max=%g@,"
+      else begin
+        let q p = Option.value (histogram_quantile h p) ~default:Float.nan in
+        Format.fprintf ppf
+          "%s%a count=%d sum=%g mean=%g min=%g max=%g p50=%g p90=%g p99=%g@,"
           h.h_name pp_labels h.h_labels h.count h.sum (histogram_mean h) h.min
-          h.max)
+          h.max (q 0.5) (q 0.9) (q 0.99)
+      end)
     (sorted_entries t.histograms);
   Format.pp_close_box ppf ()

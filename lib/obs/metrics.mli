@@ -33,7 +33,11 @@ val histogram : t -> ?labels:labels -> ?buckets:float list -> string -> histogra
 (** Find-or-create. [buckets] are upper bounds of cumulative buckets (a
     [+inf] bucket is implicit); they are fixed by the first creation.
     Default buckets suit small non-negative integer distributions
-    (occupancies, densities): 1 2 4 8 16 32 64. *)
+    (occupancies, densities): 1 2 4 8 16 32 64.
+    @raise Invalid_argument when the histogram already exists and an
+    explicit [buckets] disagrees (after sorting and deduplication) with
+    the layout it was created with — a silent mismatch would observe
+    into the wrong buckets. Re-passing the original layout is fine. *)
 
 val observe : histogram -> float -> unit
 
@@ -41,6 +45,14 @@ val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 val histogram_mean : histogram -> float
 (** 0 when empty. *)
+
+val histogram_quantile : histogram -> float -> float option
+(** Prometheus-style quantile estimate from the cumulative buckets:
+    locate the bucket holding rank [q * count] and interpolate linearly
+    within it. Estimates are clamped to the observed [min]/[max] (the
+    [+inf] bucket degrades to [max]); [None] when the histogram is
+    empty. [q] outside [0..1] clamps to the range endpoints. Surfaced as
+    p50/p90/p99 by {!pp} and {!to_json}. *)
 
 val time : t -> ?labels:labels -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and observe its wall-clock duration, in seconds, in

@@ -1,0 +1,98 @@
+(** Per-region speculation scorecards, folded from an {!Events} stream.
+
+    Each region (one card per distinct region name, accumulated across
+    visits) answers the paper's cost question — how much buffered
+    speculative work committed, how much squashed, and how long values
+    dwelt in the buffers:
+
+    - {e residency}: cycles attributed to the region, telescoped from
+      [Region_enter] stamps (a region owns everything up to the next
+      enter, including its transition-out and any recovery re-execution);
+      the final region is closed by the run's total cycle count, so the
+      attribution always sums exactly to it
+    - {e issue quality}: normal-mode issue cycles split into useful
+      (at least one operation executed, or an exit fired) and wasted
+      (every slot predicate-false) — these reconcile with the machine's
+      own [bd_useful]/[bd_squashed] cycle accounting, test-enforced
+    - {e buffered-state outcomes}: shadow-register and store-buffer
+      commits vs squashes (predicate-false vs wholesale invalidation),
+      forwarding hits, D-cache flushes, deferred and raised faults
+    - {e lifetimes}: histograms of shadow-value lifetime (speculative
+      write → commit/squash) and store-buffer dwell (append →
+      flush/squash), in cycles
+
+    The fold requires a complete stream: {!reconciles} is [false] when
+    the ring dropped events (size the {!Events} capacity to the run) or
+    when a fatal abort cut a cycle short. *)
+
+type card = {
+  region : string;
+  mutable visits : int;
+  mutable cycles : int;
+  mutable useful : int;
+  mutable wasted : int;
+  mutable preds_true : int;
+  mutable preds_false : int;
+  mutable spec_writes : int;
+  mutable shadow_commits : int;
+  mutable shadow_squashes : int;  (** predicate specified false *)
+  mutable shadow_invalidated : int;
+      (** squashed wholesale: region exit, exception detection *)
+  mutable sb_appends : int;  (** all stores entering the buffer *)
+  mutable sb_spec_appends : int;
+  mutable sb_forwards : int;
+  mutable sb_commits : int;
+  mutable sb_squashes : int;
+  mutable sb_invalidated : int;
+  mutable sb_flushes : int;  (** D-cache writes *)
+  mutable faults_deferred : int;
+  mutable faults_raised : int;
+  shadow_lifetime : Metrics.histogram;
+  sb_dwell : Metrics.histogram;
+}
+
+type t
+
+val of_events : total_cycles:int -> Events.t -> t
+(** Fold the stream. [total_cycles] closes the final region's residency
+    (pass the machine's cycle count). *)
+
+val cards : t -> card list
+(** One card per region name, in first-appearance order. *)
+
+val find : t -> string -> card option
+
+val total_cycles : t -> int
+(** The [total_cycles] the profile was folded with. *)
+
+val attributed_cycles : t -> int
+(** Sum of per-region residencies. *)
+
+val dropped : t -> int
+(** Events the ring dropped (capacity overflow) — nonzero voids
+    reconciliation. *)
+
+val reconciles : t -> bool
+(** No dropped events and {!attributed_cycles} [=] {!total_cycles}. *)
+
+val commit_total : t -> int
+(** Shadow + store-buffer commits across all regions (equals the
+    machine's [stats.commits], test-enforced). *)
+
+val squash_rate : card -> float
+(** Squashed buffered state (shadow + store buffer, invalidations
+    included) over all resolved buffered state; [0.] when nothing
+    resolved. *)
+
+val metrics : t -> Metrics.t
+(** The registry holding the per-region [spec_shadow_lifetime_cycles]
+    and [spec_sb_dwell_cycles] histograms (labelled
+    [{region="..."}]) — exportable alongside any other metrics dump. *)
+
+val pp : Format.formatter -> t -> unit
+(** Scorecard table plus a reconciliation line. *)
+
+val to_json : t -> Json.t
+(** [{"total_cycles", "dropped", "reconciles", "regions": [{card
+    fields, "shadow_lifetime": {histogram}, "sb_dwell":
+    {histogram}}...]}]. *)

@@ -216,6 +216,159 @@ let test_limits () =
       check_bool (r.Limits.name ^ " headroom >= 2x") true (r.Limits.headroom >= 2.0))
     rows
 
+(* ---------- benchmark regression gating ---------- *)
+
+let bech_doc groups =
+  Psb_obs.Json.Obj
+    [
+      ("schema", Psb_obs.Json.String "psb-bechamel-v1");
+      ( "groups",
+        Psb_obs.Json.List
+          (List.map
+             (fun (name, results) ->
+               Psb_obs.Json.Obj
+                 [
+                   ("name", Psb_obs.Json.String name);
+                   ( "results",
+                     Psb_obs.Json.List
+                       (List.map
+                          (fun (n, ns) ->
+                            Psb_obs.Json.Obj
+                              [
+                                ("name", Psb_obs.Json.String n);
+                                ("ns_per_run", Psb_obs.Json.Float ns);
+                                ( "minor_words_per_run",
+                                  Psb_obs.Json.Float 0. );
+                              ])
+                          results) );
+                 ])
+             groups) );
+    ]
+
+let parse_doc groups =
+  match Baseline.of_json (bech_doc groups) with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "baseline doc: %s" e
+
+let test_baseline_parse () =
+  let d = parse_doc [ ("g", [ ("g/a", 10.); ("g/b", 20.) ]); ("h", []) ] in
+  check_bool "groups" true (Baseline.groups d = [ "g"; "h" ]);
+  (match Baseline.of_json (Psb_obs.Json.Obj [ ("schema", Psb_obs.Json.String "nope") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong schema marker");
+  (match Baseline.of_string "{\"schema\": \"psb-bechamel-v1\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted missing groups");
+  match Baseline.of_string "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed JSON"
+
+let test_baseline_within_threshold () =
+  let baseline = parse_doc [ ("g", [ ("g/a", 100.); ("g/b", 100.) ]) ] in
+  (* +30% and -20%: both inside a 50% gate; an extra current-only
+     benchmark is not a regression *)
+  let current =
+    parse_doc [ ("g", [ ("g/a", 130.); ("g/b", 80.); ("g/new", 999.) ]) ]
+  in
+  let r = Baseline.compare_docs ~threshold_pct:50. ~baseline ~current in
+  check_bool "ok" true (Baseline.ok r);
+  Alcotest.(check int) "rows follow the baseline" 2 (List.length r.Baseline.rows);
+  let a = List.find (fun (row : Baseline.row) -> row.Baseline.name = "g/a") r.Baseline.rows in
+  check_bool "delta computed" true (abs_float (a.Baseline.delta_pct -. 30.) < 1e-9);
+  check_bool "not regressed" true (not a.Baseline.regressed)
+
+let test_baseline_injected_regression () =
+  let baseline = parse_doc [ ("g", [ ("g/a", 100.); ("g/b", 100.) ]) ] in
+  (* g/a got 3x slower — past a 50% threshold the gate must fail *)
+  let current = parse_doc [ ("g", [ ("g/a", 300.); ("g/b", 100.) ]) ] in
+  let r = Baseline.compare_docs ~threshold_pct:50. ~baseline ~current in
+  check_bool "gate fails" true (not (Baseline.ok r));
+  let a = List.find (fun (row : Baseline.row) -> row.Baseline.name = "g/a") r.Baseline.rows in
+  check_bool "culprit flagged" true a.Baseline.regressed;
+  let b = List.find (fun (row : Baseline.row) -> row.Baseline.name = "g/b") r.Baseline.rows in
+  check_bool "innocent row passes" true (not b.Baseline.regressed);
+  (* the same 3x is fine under a 300% threshold *)
+  check_bool "generous threshold passes" true
+    (Baseline.ok (Baseline.compare_docs ~threshold_pct:300. ~baseline ~current))
+
+let test_baseline_missing_benchmark () =
+  let baseline = parse_doc [ ("g", [ ("g/a", 100.); ("g/gone", 100.) ]) ] in
+  let current = parse_doc [ ("g", [ ("g/a", 100.) ]) ] in
+  let r = Baseline.compare_docs ~threshold_pct:50. ~baseline ~current in
+  check_bool "vanished benchmark fails the gate" true (not (Baseline.ok r));
+  let gone = List.find (fun (row : Baseline.row) -> row.Baseline.name = "g/gone") r.Baseline.rows in
+  check_bool "missing current" true (gone.Baseline.current_ns = None);
+  (* the report document parses and carries the verdict *)
+  match Psb_obs.Json.parse (Psb_obs.Json.to_string (Baseline.to_json r)) with
+  | Error e -> Alcotest.failf "report json: %s" e
+  | Ok v ->
+      check_bool "ok member" true
+        (Option.bind (Psb_obs.Json.member "ok" v) (function
+           | Psb_obs.Json.Bool b -> Some b
+           | _ -> None)
+        = Some false)
+
+(* The checked-in BENCH_*.json baselines must stay parseable: the CI
+   gate reads them with this exact parser. *)
+let test_baseline_checked_in_files () =
+  (* dune runtest runs in _build/default/test (the copied root is one
+     up); dune exec runs from the workspace root itself *)
+  let has_bench d =
+    try
+      Array.exists
+        (fun f -> String.length f >= 6 && String.sub f 0 6 = "BENCH_")
+        (Sys.readdir d)
+    with Sys_error _ -> false
+  in
+  let root = if has_bench "." then "." else ".." in
+  let candidates =
+    List.filter
+      (fun f ->
+        Filename.check_suffix f ".json"
+        && String.length f >= 6
+        && String.sub f 0 6 = "BENCH_")
+      (try Array.to_list (Sys.readdir root) with Sys_error _ -> [])
+  in
+  check_bool "found checked-in baselines" true (candidates <> []);
+  List.iter
+    (fun f ->
+      let path = Filename.concat root f in
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      match Baseline.of_string contents with
+      | Ok d -> check_bool (f ^ " has groups") true (Baseline.groups d <> [])
+      | Error e -> Alcotest.failf "%s: %s" f e)
+    candidates
+
+(* ---------- report schema 3 ---------- *)
+
+let test_report_speculation_member () =
+  let doc = Report.all ~names:[ "table2" ] ~runtime:true (Lazy.force h) in
+  let open Psb_obs.Json in
+  (match member "schema_version" doc with
+  | Some (Int 3) -> ()
+  | other ->
+      Alcotest.failf "schema_version: %s"
+        (match other with Some v -> to_string v | None -> "missing"));
+  let spec =
+    Option.get
+      (Option.bind (member "runtime" doc) (fun r -> member "speculation" r))
+  in
+  match spec with
+  | Obj entries ->
+      check_bool "one entry per workload" true (List.length entries >= 6);
+      List.iter
+        (fun (w, card) ->
+          check_bool (w ^ " reconciles") true
+            (member "reconciles" card = Some (Bool true));
+          check_bool (w ^ " has cycles") true
+            (match Option.bind (member "cycles" card) to_int with
+            | Some c -> c > 0
+            | None -> false);
+          check_bool (w ^ " has regions") true
+            (to_list (Option.get (member "regions" card)) <> []))
+        entries
+  | _ -> Alcotest.fail "speculation member is not an object"
+
 let () =
   Alcotest.run "eval"
     [
@@ -237,6 +390,23 @@ let () =
           Alcotest.test_case "cache traffic" `Slow test_cache_traffic;
           Alcotest.test_case "-j 1 = -j 8 byte-identical" `Slow
             test_parallel_determinism;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "parse" `Quick test_baseline_parse;
+          Alcotest.test_case "within threshold" `Quick
+            test_baseline_within_threshold;
+          Alcotest.test_case "injected regression fails" `Quick
+            test_baseline_injected_regression;
+          Alcotest.test_case "missing benchmark fails" `Quick
+            test_baseline_missing_benchmark;
+          Alcotest.test_case "checked-in files parse" `Quick
+            test_baseline_checked_in_files;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "schema 3 speculation" `Slow
+            test_report_speculation_member;
         ] );
       ( "related",
         [ Alcotest.test_case "2.2 spectrum" `Slow test_related_spectrum ] );

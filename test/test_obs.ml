@@ -8,6 +8,9 @@ open Psb_compiler
 open Psb_workloads
 module Json = Psb_obs.Json
 module Metrics = Psb_obs.Metrics
+module Events = Psb_obs.Events
+module Spec_profile = Psb_obs.Spec_profile
+module Trace_event = Psb_obs.Trace_event
 module Vliw_sim = Psb_machine.Vliw_sim
 module Vliw_trace = Psb_machine.Vliw_trace
 module Machine_model = Psb_machine.Machine_model
@@ -21,14 +24,14 @@ let executable_models =
 let workloads = Suite.all @ Suite.extras
 
 (* Compile [w] under [model] and run it with the given instrumentation. *)
-let run_workload ?on_event ?metrics (w : Dsl.t) (model : Model.t) =
+let run_workload ?on_event ?events ?metrics (w : Dsl.t) (model : Model.t) =
   let _, profile =
     Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
   in
   let compiled =
     Driver.compile ~model ~machine:Machine_model.base ~profile w.Dsl.program
   in
-  Driver.run_vliw ?on_event ?metrics compiled ~regs:w.Dsl.regs
+  Driver.run_vliw ?on_event ?events ?metrics compiled ~regs:w.Dsl.regs
     ~mem:(w.Dsl.make_mem ())
 
 (* ---------- JSON ---------- *)
@@ -360,6 +363,400 @@ let test_accounting_under_recovery () =
     res.Vliw_sim.stats.Vliw_sim.recoveries
     (count (fun e -> e = Vliw_sim.Exception_detected))
 
+(* ---------- structured event ring ---------- *)
+
+let test_events_ring () =
+  let e = Events.create ~capacity:4 () in
+  check_int "capacity" 4 (Events.capacity e);
+  Events.emit e ~cycle:0 Events.Issue ~a:1 ~b:0;
+  Events.emit e ~cycle:1 Events.Issue ~a:2 ~b:0;
+  Events.emit e ~cycle:2 Events.Issue ~a:3 ~b:0;
+  check_int "length" 3 (Events.length e);
+  check_int "total" 3 (Events.total e);
+  check_int "dropped" 0 (Events.dropped e);
+  (* two more wrap the ring: the two oldest are overwritten *)
+  Events.emit e ~cycle:3 Events.Sb_append ~a:4 ~b:1;
+  Events.emit e ~cycle:4 Events.Sb_append ~a:5 ~b:0;
+  check_int "length at cap" 4 (Events.length e);
+  check_int "total after wrap" 5 (Events.total e);
+  check_int "dropped after wrap" 1 (Events.dropped e);
+  let got = ref [] in
+  Events.iter e (fun cycle kind a b -> got := (cycle, kind, a, b) :: !got);
+  check_bool "iter oldest first" true
+    (List.rev !got
+    = [
+        (1, Events.Issue, 2, 0);
+        (2, Events.Issue, 3, 0);
+        (3, Events.Sb_append, 4, 1);
+        (4, Events.Sb_append, 5, 0);
+      ]);
+  Events.clear e;
+  check_int "cleared length" 0 (Events.length e);
+  check_int "cleared total" 0 (Events.total e);
+  check_int "cleared dropped" 0 (Events.dropped e)
+
+let test_events_intern () =
+  let e = Events.create ~capacity:8 () in
+  let a = Events.intern e "loop" in
+  let b = Events.intern e "done" in
+  check_int "dense ids" 0 a;
+  check_int "dense ids 2" 1 b;
+  check_int "find not create" a (Events.intern e "loop");
+  check_bool "name" true (Events.name e a = "loop");
+  check_bool "unknown id" true (Events.name e 7 = "?7");
+  check_bool "halt id" true (Events.name e (-1) = "?-1");
+  Events.clear e;
+  check_bool "names survive clear" true (Events.name e b = "done")
+
+let test_events_json () =
+  let e = Events.create ~capacity:8 () in
+  ignore (Events.intern e "entry");
+  Events.emit e ~cycle:0 Events.Region_enter ~a:0 ~b:0;
+  Events.emit e ~cycle:5 Events.Shadow_commit ~a:3 ~b:42;
+  let s = Json.to_string (Events.to_json e) in
+  match Json.parse s with
+  | Error err -> Alcotest.failf "events json: %s" err
+  | Ok v ->
+      let field n = Option.get (Json.member n v) in
+      check_int "total" 2 (Option.get (Json.to_int (field "total")));
+      check_int "dropped" 0 (Option.get (Json.to_int (field "dropped")));
+      check_int "events" 2 (List.length (Json.to_list (field "events")));
+      let first = List.hd (Json.to_list (field "events")) in
+      check_bool "kind name" true
+        (Option.bind (Json.member "kind" first) Json.to_str
+        = Some "region_enter")
+
+(* The zero-overhead claim, allocation half: emitting into the ring and
+   ticking the machine structures with a ring attached must not allocate
+   on the minor heap. The tolerance absorbs the boxed floats that
+   [Gc.minor_words] itself returns. *)
+let minor_words_of f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_events_emit_no_alloc () =
+  let e = Events.create ~capacity:1024 () in
+  (* warm up: fill and wrap once so the steady state is measured *)
+  for i = 0 to 2047 do
+    Events.emit e ~cycle:i Events.Issue ~a:i ~b:0
+  done;
+  let words =
+    minor_words_of (fun () ->
+        for i = 0 to 99_999 do
+          Events.emit e ~cycle:i Events.Shadow_write ~a:i ~b:i
+        done)
+  in
+  check_bool
+    (Printf.sprintf "emit allocates nothing (%.0f words / 100k emits)" words)
+    true (words < 256.)
+
+(* Attaching a ring to the per-cycle tick paths must add zero minor-heap
+   allocation: measured as a delta between identical state with and
+   without [?events], under the compiled-mask kernel (the production hot
+   path — the Map reference walk allocates by design). The store-buffer
+   side is additionally absolute: its tick allocates nothing at all. *)
+let test_tick_no_alloc_with_events () =
+  let module Regfile = Psb_machine.Regfile in
+  let module Store_buffer = Psb_machine.Store_buffer in
+  let module Ccr = Psb_machine.Ccr in
+  let module Pred_kernel = Psb_machine.Pred_kernel in
+  let entries = 16 in
+  (* all predicates stay Unspec so no version ever resolves and the
+     timed state survives arbitrarily many ticks *)
+  let pred i =
+    Pred.of_list
+      [ (Cond.make (i mod 4), true); (Cond.make (4 + (i mod 4)), i mod 2 = 0) ]
+  in
+  let ccr = Ccr.create ~width:8 in
+  let ring = Events.create ~capacity:1024 () in
+  let make_rf events =
+    let rf = Regfile.create ~mode:Regfile.Single ?events ~nregs:entries () in
+    for i = 0 to entries - 1 do
+      match
+        Regfile.write_spec rf (Reg.make i) i
+          ~cpred:(Pred.compile (pred i))
+          ~fault:None
+      with
+      | `Ok -> ()
+      | `Conflict -> assert false
+    done;
+    rf
+  in
+  let make_sb events =
+    let sb = Store_buffer.create ?events () in
+    for i = 0 to entries - 1 do
+      Store_buffer.append sb ~addr:i ~value:i
+        ~cpred:(Pred.compile (pred i))
+        ~spec:true ~fault:None
+    done;
+    sb
+  in
+  let rf_plain = make_rf None and rf_events = make_rf (Some ring) in
+  let sb_plain = make_sb None and sb_events = make_sb (Some ring) in
+  let mode = Pred_kernel.Mask in
+  let measure f =
+    ignore (f ());
+    minor_words_of (fun () ->
+        for _ = 1 to 10_000 do
+          ignore (f ())
+        done)
+  in
+  let rf0 = measure (fun () -> Regfile.tick ~mode ~dirty:(-1) rf_plain ccr) in
+  let rf1 = measure (fun () -> Regfile.tick ~mode ~dirty:(-1) rf_events ccr) in
+  let sb0 =
+    measure (fun () -> Store_buffer.tick ~mode ~dirty:(-1) sb_plain ccr)
+  in
+  let sb1 =
+    measure (fun () -> Store_buffer.tick ~mode ~dirty:(-1) sb_events ccr)
+  in
+  check_bool
+    (Printf.sprintf "events add nothing to rf tick (%+.0f words / 10k)"
+       (rf1 -. rf0))
+    true
+    (rf1 -. rf0 < 256.);
+  check_bool
+    (Printf.sprintf "sb tick allocates nothing (%.0f words / 10k)" sb1)
+    true (sb1 < 256.);
+  check_bool
+    (Printf.sprintf "events add nothing to sb tick (%+.0f words / 10k)"
+       (sb1 -. sb0))
+    true
+    (sb1 -. sb0 < 256.)
+
+(* ---------- speculation scorecards ---------- *)
+
+(* The profiler's reconciliation guarantees, for every workload under
+   every executable model: region residencies telescope to the machine's
+   cycle count, useful/wasted issue cycles match the machine's own
+   accounting, and buffered-state commits match the commit counter. *)
+let test_spec_profile_reconciles () =
+  List.iter
+    (fun (w : Dsl.t) ->
+      List.iter
+        (fun (model : Model.t) ->
+          let events = Events.create ~capacity:(1 lsl 20) () in
+          let res = run_workload ~events w model in
+          let prof =
+            Spec_profile.of_events ~total_cycles:res.Vliw_sim.cycles events
+          in
+          let ctx fmt =
+            Printf.sprintf ("%s/%s " ^^ fmt) w.Dsl.name model.Model.name
+          in
+          check_int (ctx "dropped") 0 (Spec_profile.dropped prof);
+          check_bool (ctx "reconciles") true (Spec_profile.reconciles prof);
+          check_int (ctx "attributed cycles") res.Vliw_sim.cycles
+            (Spec_profile.attributed_cycles prof);
+          let sum f =
+            List.fold_left
+              (fun acc c -> acc + f c)
+              0 (Spec_profile.cards prof)
+          in
+          check_int (ctx "useful")
+            res.Vliw_sim.breakdown.Vliw_sim.bd_useful
+            (sum (fun c -> c.Spec_profile.useful));
+          check_int (ctx "wasted")
+            res.Vliw_sim.breakdown.Vliw_sim.bd_squashed
+            (sum (fun c -> c.Spec_profile.wasted));
+          check_int (ctx "commits") res.Vliw_sim.stats.Vliw_sim.commits
+            (Spec_profile.commit_total prof);
+          List.iter
+            (fun (c : Spec_profile.card) ->
+              let r = Spec_profile.squash_rate c in
+              check_bool (ctx "squash rate in [0,1]") true
+                (r >= 0. && r <= 1.))
+            (Spec_profile.cards prof))
+        executable_models)
+    workloads
+
+(* Reconciliation must survive exception recovery: the re-executed
+   cycles belong to the region that faulted, and the deferred/raised
+   fault events appear on its card. *)
+let test_spec_profile_recovery () =
+  let open Psb_workloads.Dsl in
+  let stride = 70 and iters = 8 in
+  let program =
+    Program.make ~entry:(lbl "entry")
+      [
+        block "entry" [ mov 1 (i 0); mov 2 (i 0) ] (jmp "head");
+        block "head"
+          [
+            add 5 (r 20) (r 1);
+            load 6 5 0;
+            mul 6 (r 6) (i 3);
+            sub 6 (r 6) (i 1);
+            cmp 4 Opcode.Gt (r 6) (i 0);
+          ]
+          (br 4 "body" "done");
+        block "body"
+          [
+            mul 7 (r 1) (i stride);
+            add 7 (r 7) (r 21);
+            load 3 7 0;
+            add 2 (r 2) (r 3);
+            add 1 (r 1) (i 1);
+          ]
+          (jmp "head");
+        block "done" [ out (r 2) ] halt;
+      ]
+  in
+  let make_mem () =
+    let mem = Memory.create_demand ~size:2048 ~unmapped:(320, 1024) in
+    for k = 0 to iters - 1 do
+      Memory.poke mem k (if k = iters - 1 then 0 else 1)
+    done;
+    for k = 0 to iters - 1 do
+      let a = 256 + (k * stride) in
+      if Memory.probe mem a = None then Memory.poke mem a (k + 1)
+    done;
+    mem
+  in
+  let regs = [ (Reg.make 20, 0); (Reg.make 21, 256) ] in
+  let _, profile = Driver.profile_of program ~regs ~mem:(make_mem ()) in
+  let compiled =
+    Driver.compile ~model:Model.region_pred ~machine:Machine_model.base
+      ~profile program
+  in
+  let events = Events.create ~capacity:(1 lsl 20) () in
+  let res = Driver.run_vliw ~events compiled ~regs ~mem:(make_mem ()) in
+  check_bool "recovers" true (res.Vliw_sim.stats.Vliw_sim.recoveries > 0);
+  let prof = Spec_profile.of_events ~total_cycles:res.Vliw_sim.cycles events in
+  check_bool "reconciles under recovery" true (Spec_profile.reconciles prof);
+  let sum f =
+    List.fold_left (fun acc c -> acc + f c) 0 (Spec_profile.cards prof)
+  in
+  check_int "raised faults = recovery episodes"
+    res.Vliw_sim.stats.Vliw_sim.recoveries
+    (sum (fun c -> c.Spec_profile.faults_raised));
+  check_bool "faults deferred first" true
+    (sum (fun c -> c.Spec_profile.faults_deferred) > 0);
+  check_int "commits under recovery" res.Vliw_sim.stats.Vliw_sim.commits
+    (Spec_profile.commit_total prof)
+
+(* A ring too small for the run voids reconciliation instead of lying. *)
+let test_spec_profile_truncated () =
+  let w = Suite.find "li" in
+  let events = Events.create ~capacity:64 () in
+  let res = run_workload ~events w Model.region_pred in
+  let prof = Spec_profile.of_events ~total_cycles:res.Vliw_sim.cycles events in
+  check_bool "dropped events" true (Spec_profile.dropped prof > 0);
+  check_bool "does not claim reconciliation" true
+    (not (Spec_profile.reconciles prof))
+
+(* ---------- histogram quantiles ---------- *)
+
+let test_histogram_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "q" ~buckets:[ 1.; 2.; 4.; 8. ] in
+  check_bool "empty" true (Metrics.histogram_quantile h 0.5 = None);
+  List.iter (fun v -> Metrics.observe h (float_of_int v)) [ 1; 2; 3; 4; 5; 6 ];
+  let get q = Option.get (Metrics.histogram_quantile h q) in
+  check_bool "p0 is min" true (get 0. = 1.);
+  check_bool "p100 is max" true (get 1. = 6.);
+  check_bool "clamped below" true (get (-0.5) = 1.);
+  check_bool "clamped above" true (get 2. = 6.);
+  let p50 = get 0.5 and p90 = get 0.9 and p99 = get 0.99 in
+  check_bool "p50 in range" true (p50 >= 1. && p50 <= 6.);
+  check_bool "monotone" true (p50 <= p90 && p90 <= p99);
+  (* a single observation pins every quantile *)
+  let one = Metrics.histogram m "one" in
+  Metrics.observe one 5.;
+  check_bool "single obs" true
+    (Metrics.histogram_quantile one 0.5 = Some 5.
+    && Metrics.histogram_quantile one 0.99 = Some 5.);
+  (* values past the last bound live in the +inf bucket: quantiles
+     degrade to the observed max, never to infinity *)
+  let inf = Metrics.histogram m "inf" ~buckets:[ 1. ] in
+  List.iter (Metrics.observe inf) [ 100.; 200. ];
+  check_bool "inf bucket degrades to max" true
+    (Metrics.histogram_quantile inf 0.9 = Some 200.)
+
+let test_histogram_buckets_conflict () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "occ" ~buckets:[ 1.; 2.; 4. ] in
+  Metrics.observe h 3.;
+  (* re-passing the original layout (any order, duplicates collapsed)
+     and omitting buckets both find the same histogram *)
+  check_bool "same layout ok" true
+    (Metrics.histogram m "occ" ~buckets:[ 4.; 1.; 2.; 2. ] == h);
+  check_bool "no buckets ok" true (Metrics.histogram m "occ" == h);
+  check_bool "raises on conflicting buckets" true
+    (try
+       ignore (Metrics.histogram m "occ" ~buckets:[ 1.; 2.; 8. ]);
+       false
+     with Invalid_argument _ -> true);
+  (* different labels are a different histogram: no conflict *)
+  ignore (Metrics.histogram m "occ" ~labels:[ ("k", "v") ] ~buckets:[ 3. ])
+
+(* ---------- trace-event escaping and field order ---------- *)
+
+let test_trace_event_escaping () =
+  let sink = Trace_event.create ~process_name:"esc \"proc\"" () in
+  let tr = Trace_event.track sink "tr\tack" in
+  let names =
+    [
+      "quote \" backslash \\";
+      "control \x01\x02\x1f chars";
+      "newline \n tab \t cr \r";
+      "non-ASCII caf\xc3\xa9 \xe2\x86\x92";
+    ]
+  in
+  List.iteri
+    (fun idx n -> Trace_event.instant sink tr ~name:n ~ts:idx ())
+    names;
+  let doc = Trace_event.to_json sink () in
+  let s = Json.to_string ~minify:true doc in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "escaped trace does not parse: %s" e
+  | Ok v ->
+      check_bool "round-trip" true (Json.equal v doc);
+      let events = Json.to_list (Option.get (Json.member "traceEvents" v)) in
+      let instant_names =
+        List.filter_map
+          (fun e ->
+            if Option.bind (Json.member "ph" e) Json.to_str = Some "i" then
+              Option.bind (Json.member "name" e) Json.to_str
+            else None)
+          events
+      in
+      check_bool "names survive escaping" true (instant_names = names)
+
+let test_trace_event_field_order () =
+  let sink = Trace_event.create () in
+  let tr = Trace_event.track sink "t" in
+  Trace_event.span sink tr ~name:"s" ~ts:0 ~dur:2 ();
+  Trace_event.instant sink tr ~name:"i" ~ts:1 ();
+  Trace_event.counter sink ~name:"c" ~ts:2 ~value:3;
+  let doc1 = Json.to_string (Trace_event.to_json sink ()) in
+  let doc2 = Json.to_string (Trace_event.to_json sink ()) in
+  check_bool "serialisation deterministic" true (doc1 = doc2);
+  let events =
+    Json.to_list (Option.get (Json.member "traceEvents" (Trace_event.to_json sink ())))
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Json.Obj fields ->
+          let keys = List.map fst fields in
+          let expect =
+            (* metadata records ("M") carry no timestamp *)
+            if Option.bind (Json.member "ph" e) Json.to_str = Some "M" then
+              [ "name"; "ph"; "pid"; "tid" ]
+            else [ "name"; "ph"; "ts"; "pid"; "tid" ]
+          in
+          let rec prefix = function
+            | [], _ -> true
+            | e :: es, k :: ks when e = k -> prefix (es, ks)
+            | _ -> false
+          in
+          check_bool
+            (Printf.sprintf "deterministic field order (got %s)"
+               (String.concat "," keys))
+            true
+            (prefix (expect, keys))
+      | _ -> Alcotest.fail "trace event is not an object")
+    events
+
 (* ---------- metrics integration ---------- *)
 
 let test_vliw_metrics_agree () =
@@ -416,9 +813,37 @@ let () =
           Alcotest.test_case "histograms" `Quick test_metrics_histograms;
           Alcotest.test_case "json deterministic" `Quick
             test_metrics_json_deterministic;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "buckets conflict raises" `Quick
+            test_histogram_buckets_conflict;
         ] );
       ( "trace",
-        [ Alcotest.test_case "golden schema" `Quick test_trace_golden ] );
+        [
+          Alcotest.test_case "golden schema" `Quick test_trace_golden;
+          Alcotest.test_case "string escaping" `Quick
+            test_trace_event_escaping;
+          Alcotest.test_case "field order" `Quick
+            test_trace_event_field_order;
+        ] );
+      ( "event ring",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_events_ring;
+          Alcotest.test_case "intern table" `Quick test_events_intern;
+          Alcotest.test_case "json" `Quick test_events_json;
+          Alcotest.test_case "emit allocation-free" `Quick
+            test_events_emit_no_alloc;
+          Alcotest.test_case "ticks allocation-free" `Quick
+            test_tick_no_alloc_with_events;
+        ] );
+      ( "speculation profile",
+        [
+          Alcotest.test_case "reconciles everywhere" `Slow
+            test_spec_profile_reconciles;
+          Alcotest.test_case "reconciles under recovery" `Quick
+            test_spec_profile_recovery;
+          Alcotest.test_case "truncation voids reconciliation" `Quick
+            test_spec_profile_truncated;
+        ] );
       ( "accounting",
         [
           Alcotest.test_case "sums to cycles" `Slow test_accounting_sums;
