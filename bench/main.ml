@@ -27,7 +27,7 @@
    check to save compile time in exploratory sweeps.
 
    Experiments: table2 table3 fig6 fig7 fig8 shadow validation counter btb
-   related dup size unroll sweep limits hwcost *)
+   related dup size unroll sweep limits limits-gen hwcost *)
 
 open Psb_eval
 module Pool = Psb_parallel.Pool
@@ -97,8 +97,12 @@ let experiments : (string * string * (Format.formatter -> unit)) list =
         Experiments.pp_sweep ppf
           (Experiments.predictability_sweep ?pool:(Lazy.force pool) ()) );
     ( "limits",
-      "ILP limit study (block vs oracle, the paper's motivation)",
+      "ILP limit study (block vs oracle vs value oracle, the paper's motivation)",
       fun ppf -> Limits.pp ppf (Limits.analyze_suite ()) );
+    ( "limits-gen",
+      "ILP limit study over the random-generator fleet",
+      fun ppf ->
+        Limits.pp ppf (Psb_proptest.Fuzz.limits_fleet ~n:8 ~seed:7 ()) );
     ( "hwcost",
       "hardware cost model (4.2.1)",
       fun ppf -> Hwcost.pp_report ppf (Hwcost.analyze Hwcost.default) );

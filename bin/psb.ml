@@ -823,6 +823,9 @@ let experiments_cmd =
         (Psb_eval.Experiments.unroll_ablation h);
     if want "limits" then
       print "limits" Psb_eval.Limits.pp (Psb_eval.Limits.analyze_suite ());
+    if want "limits-gen" then
+      print "limits-gen" Psb_eval.Limits.pp
+        (Psb_proptest.Fuzz.limits_fleet ~n:8 ~seed:7 ());
     if want "sweep" then
       print "sweep" Psb_eval.Experiments.pp_sweep
         (Psb_eval.Experiments.predictability_sweep ?pool ());
@@ -836,6 +839,253 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's tables and figures (all, or by name)")
     Term.(const run $ jobs_arg $ names)
 
+(* ----- fuzz: sharded pipeline differential campaigns ----- *)
+
+let fuzz_cmd =
+  let module F = Psb_proptest.Fuzz in
+  let module G = Psb_proptest.Gen in
+  let run trials seed jobs corpus replay inject only no_shrink diamonds iters
+      nesting alias_mask fault_rate demand =
+    let inject =
+      match inject with
+      | Some s -> (
+          match Psb_proptest.Inject.of_name s with
+          | Ok t -> Some t
+          | Error m ->
+              Format.eprintf "psb fuzz: %s@." m;
+              exit 2)
+      | None -> Psb_proptest.Inject.of_env ()
+    in
+    match replay with
+    | Some dir ->
+        (* replay mode: every corpus entry through the full differential *)
+        let entries = Psb_proptest.Corpus.load_dir dir in
+        if entries = [] then
+          Format.printf "psb fuzz: no .psbasm files under %s@." dir;
+        let failures =
+          List.filter_map
+            (fun (file, loaded) ->
+              match loaded with
+              | Error m -> Some (file, Printf.sprintf "load error: %s" m)
+              | Ok g -> (
+                  match Psb_proptest.Diff.check ?inject g with
+                  | Ok () ->
+                      Format.printf "  ok   %s@." file;
+                      None
+                  | Error f ->
+                      Format.printf "  FAIL %s: %s@." file
+                        (Psb_proptest.Diff.pp_failure f);
+                      Some (file, Psb_proptest.Diff.pp_failure f)))
+            entries
+        in
+        Format.printf "replayed %d, %d failed@." (List.length entries)
+          (List.length failures);
+        if failures <> [] then exit 1
+    | None ->
+        let seed =
+          match seed with
+          | Some s -> s
+          | None ->
+              Random.self_init ();
+              Random.int 1_000_000_000
+        in
+        let shape =
+          {
+            G.default_shape with
+            G.max_diamonds = diamonds;
+            max_iters = iters;
+            nesting;
+            alias_mask;
+            fault_prob = fault_rate;
+            demand =
+              (match demand with
+              | "on" -> `On
+              | "off" -> `Off
+              | _ -> `Random);
+          }
+        in
+        let cfg =
+          {
+            F.trials;
+            seed;
+            shape;
+            inject;
+            shrink = not no_shrink;
+            max_shrink_steps = F.default.F.max_shrink_steps;
+            max_counterexamples = F.default.F.max_counterexamples;
+          }
+        in
+        let cfg, descr =
+          match only with
+          | Some i ->
+              (* replay exactly one trial of a previous campaign *)
+              ( { cfg with F.trials = i + 1 },
+                Printf.sprintf "trial %d of seed %d" i seed )
+          | None -> (cfg, Printf.sprintf "%d trials, seed %d" trials seed)
+        in
+        Format.printf "psb fuzz: %s%s (replay: psb fuzz --seed %d -n %d%s)@."
+          descr
+          (match inject with
+          | Some b -> " [injected bug: " ^ Psb_proptest.Inject.name b ^ "]"
+          | None -> "")
+          seed cfg.F.trials
+          (match inject with
+          | Some b -> " --inject " ^ Psb_proptest.Inject.name b
+          | None -> "");
+        let outcome =
+          let campaign pool =
+            match only with
+            | Some i -> (
+                let g = F.gen_trial cfg i in
+                match Psb_proptest.Diff.check ?inject g with
+                | Ok () -> { F.tested = 1; counterexamples = [] }
+                | Error f ->
+                    let g, f, steps =
+                      if cfg.F.shrink then F.minimize cfg g f else (g, f, 0)
+                    in
+                    {
+                      F.tested = 1;
+                      counterexamples =
+                        [
+                          {
+                            F.cx_trial = i;
+                            cx_stage = f.Psb_proptest.Diff.stage;
+                            cx_detail = f.Psb_proptest.Diff.detail;
+                            cx_program = g;
+                            cx_shrink_steps = steps;
+                          };
+                        ];
+                    })
+            | None ->
+                F.run ?pool
+                  ~on_progress:(fun ~tested ~found ->
+                    Format.printf "  tested %d/%d, %d counterexample(s)@."
+                      tested cfg.F.trials found)
+                  cfg
+          in
+          if jobs > 1 then
+            Psb_parallel.Pool.with_pool ~jobs (fun pool -> campaign (Some pool))
+          else campaign None
+        in
+        List.iter
+          (fun (cx : F.counterexample) ->
+            Format.printf "@.counterexample (trial %d, %d shrink steps) at %s:@."
+              cx.F.cx_trial cx.F.cx_shrink_steps cx.F.cx_stage;
+            Format.printf "  %s@." cx.F.cx_detail;
+            Format.printf "%s@." (G.pp cx.F.cx_program);
+            match corpus with
+            | Some dir ->
+                let path =
+                  Psb_proptest.Corpus.save ~dir ~seed ~stage:cx.F.cx_stage
+                    ~detail:cx.F.cx_detail cx.F.cx_program
+                in
+                Format.printf "saved %s@." path
+            | None -> ())
+          outcome.F.counterexamples;
+        Format.printf "@.%d tested, %d counterexample(s)@." outcome.F.tested
+          (List.length outcome.F.counterexamples);
+        if outcome.F.counterexamples <> [] then exit 1
+  in
+  let trials =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "trials" ] ~docv:"N" ~doc:"Number of random programs.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed (default: self-initialised; printed either way so \
+             any run replays with $(b,--seed)).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write minimized counterexamples as .psbasm files into $(docv) \
+             (content-addressed, so re-finding a bug never duplicates).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay every .psbasm corpus file in $(docv) through the full \
+             differential instead of fuzzing (e.g. $(b,test/corpus)).")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"BUG"
+          ~doc:
+            "Apply a deliberate miscompile before verify/run \
+             ($(b,sched-order)); defaults to \\$PSB_INJECT_BUG. The campaign \
+             must then find a counterexample — the harness's fire drill.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "only" ] ~docv:"I"
+          ~doc:"Run only trial $(docv) of the given seed (counterexample replay).")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report unshrunk programs.")
+  in
+  let diamonds =
+    Arg.(
+      value & opt int 3
+      & info [ "diamonds" ] ~docv:"N" ~doc:"Max diamonds per loop body.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 8
+      & info [ "iters" ] ~docv:"N" ~doc:"Max loop trip count.")
+  in
+  let nesting =
+    Arg.(
+      value & opt int 2
+      & info [ "nesting" ] ~docv:"D"
+          ~doc:"Loop-nesting depth (2 enables an inner counted loop).")
+  in
+  let alias_mask =
+    Arg.(
+      value & opt int 63
+      & info [ "alias-mask" ] ~docv:"MASK"
+          ~doc:
+            "Address mask for generated memory ops — smaller means denser \
+             aliasing.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Relative weight of faulting division among generated ops.")
+  in
+  let demand =
+    Arg.(
+      value
+      & opt (enum [ ("on", "on"); ("off", "off"); ("random", "random") ]) "random"
+      & info [ "demand" ] ~docv:"MODE" ~doc:"Demand-paged memory: on, off, random.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the whole pipeline: random programs through every stage \
+          differential (interp/scalar/VLIW, both predicate kernels, \
+          verify-then-run, compile cache), shrinking failures to minimal \
+          counterexamples")
+    Term.(
+      const run $ trials $ seed $ jobs_arg $ corpus $ replay $ inject $ only
+      $ no_shrink $ diamonds $ iters $ nesting $ alias_mask $ fault_rate
+      $ demand)
+
 let () =
   let doc = "Unconstrained speculative execution with predicated state buffering" in
   let info = Cmd.info "psb" ~version:"1.0.0" ~doc in
@@ -845,5 +1095,5 @@ let () =
           [
             list_cmd; run_cmd; compile_cmd; sim_cmd; speedup_cmd; trace_cmd;
             timeline_cmd; profile_cmd; speculate_cmd; verify_cmd; exec_cmd;
-            pexec_cmd; experiments_cmd;
+            pexec_cmd; experiments_cmd; fuzz_cmd;
           ]))

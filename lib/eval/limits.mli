@@ -10,9 +10,20 @@
       the limit studies call "very limited";
     - {b unconstrained}: control dependences eliminated (perfect
       speculation of all instructions) — the oracle the predicating
-      mechanism chases.
+      mechanism chases;
+    - {b value oracle}: additionally a perfect value predictor for loads
+      and ALU results (after Mitrevski–Gušev, "On the Performance
+      Potential of Speculative Execution based on Branch and Value
+      Prediction") — consumers of a predicted result issue without
+      waiting for it, and predicted loads skip store-to-load memory
+      dependences; the producer still occupies the schedule, since a
+      prediction must be verified. Its constraints are a strict subset
+      of the unconstrained oracle's, so [value_ipc >= oracle_ipc]
+      always.
 
-    The ratio between the two is the headroom that motivates the paper. *)
+    The ratio between the first two is the headroom that motivates the
+    paper; the third bounds what even unconstrained speculation leaves
+    on the table for value prediction. *)
 
 open Psb_workloads
 
@@ -21,7 +32,9 @@ type row = {
   dyn_instrs : int;
   block_ipc : float;
   oracle_ipc : float;
+  value_ipc : float;
   headroom : float;  (** oracle / block *)
+  value_headroom : float;  (** value / oracle *)
 }
 
 val analyze : Dsl.t -> row

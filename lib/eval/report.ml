@@ -191,7 +191,9 @@ let limits_json rows =
              ("dyn_instrs", Json.Int r.Limits.dyn_instrs);
              ("block_ipc", flt r.Limits.block_ipc);
              ("oracle_ipc", flt r.Limits.oracle_ipc);
+             ("value_ipc", flt r.Limits.value_ipc);
              ("headroom", flt r.Limits.headroom);
+             ("value_headroom", flt r.Limits.value_headroom);
            ])
        rows)
 

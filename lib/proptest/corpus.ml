@@ -1,0 +1,96 @@
+open Psb_isa
+
+let header_line key value = Printf.sprintf "# %s: %s" key value
+
+let render ?seed ~stage ~detail (g : Gen.t) =
+  let mem =
+    String.concat " "
+      (List.map (fun (a, v) -> Printf.sprintf "%d=%d" a v) g.Gen.mem_data)
+  in
+  let one_line s =
+    String.map (function '\n' | '\r' -> ' ' | c -> c) s
+  in
+  let hdr =
+    [
+      header_line "psb-corpus" "v1";
+      header_line "descr" (one_line g.Gen.descr);
+      header_line "demand" (string_of_bool g.Gen.demand);
+      header_line "mem" mem;
+      header_line "stage" (one_line stage);
+      header_line "detail" (one_line detail);
+    ]
+    @ (match seed with
+      | Some s -> [ header_line "seed" (string_of_int s) ]
+      | None -> [])
+  in
+  String.concat "\n" hdr ^ "\n" ^ Asm.print g.Gen.program
+
+let save ~dir ?seed ~stage ~detail g =
+  let text = render ?seed ~stage ~detail g in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "cx-%s.psbasm"
+         (String.sub (Digest.to_hex (Digest.string text)) 0 12))
+  in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path
+
+let parse_headers text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line < 2 || line.[0] <> '#' then None
+         else
+           let body = String.trim (String.sub line 1 (String.length line - 1)) in
+           match String.index_opt body ':' with
+           | None -> None
+           | Some i ->
+               Some
+                 ( String.trim (String.sub body 0 i),
+                   String.trim
+                     (String.sub body (i + 1) (String.length body - i - 1)) ))
+
+let parse_mem s =
+  String.split_on_char ' ' s
+  |> List.filter_map (fun pair ->
+         match String.split_on_char '=' pair with
+         | [ a; v ] -> (
+             match (int_of_string_opt a, int_of_string_opt v) with
+             | Some a, Some v -> Some (a, v)
+             | _ -> None)
+         | _ -> None)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text -> (
+      match Asm.parse text with
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Ok program ->
+          let hdrs = parse_headers text in
+          let find k = List.assoc_opt k hdrs in
+          let demand =
+            match find "demand" with Some "true" -> true | _ -> false
+          in
+          let mem_data =
+            match find "mem" with Some s -> parse_mem s | None -> []
+          in
+          let descr =
+            match find "descr" with
+            | Some d -> Printf.sprintf "%s [%s]" d (Filename.basename path)
+            | None -> Filename.basename path
+          in
+          Ok (Gen.handmade ~demand ~mem_data ~descr program))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".psbasm")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (f, load path))

@@ -1,0 +1,28 @@
+(** Replayable counterexample corpus.
+
+    Each counterexample is one [.psbasm] file: a header of [# key: value]
+    comment lines (description, demand-paging flag, initial memory image,
+    the failing stage, the seed that found it) followed by the program in
+    {!Psb_isa.Asm} syntax. The assembler ignores [#] comments, so the
+    whole file parses as a program with any assembler — the metadata only
+    matters to the replayer. Files under [test/corpus/] are replayed by
+    the tier-1 suite on every [dune runtest], forever. *)
+
+val save :
+  dir:string ->
+  ?seed:int ->
+  stage:string ->
+  detail:string ->
+  Gen.t ->
+  string
+(** Write one counterexample; the file name is content-addressed
+    ([cx-<digest>.psbasm]), so re-finding a known bug never duplicates an
+    entry. Creates [dir] if missing. Returns the path written. *)
+
+val load : string -> (Gen.t, string) result
+(** Parse one corpus file back into a (handmade, non-shrinking)
+    generated program. *)
+
+val load_dir : string -> (string * (Gen.t, string) result) list
+(** All [.psbasm] files in a directory, sorted by name. Empty if the
+    directory does not exist. *)

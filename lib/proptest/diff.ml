@@ -1,0 +1,191 @@
+open Psb_isa
+open Psb_compiler
+module Machine_model = Psb_machine.Machine_model
+module Vliw_sim = Psb_machine.Vliw_sim
+module Scalar_sim = Psb_machine.Scalar_sim
+module Pred_kernel = Psb_machine.Pred_kernel
+module Verify = Psb_verify.Verify
+
+type failure = { stage : string; detail : string }
+
+let pp_failure f = Printf.sprintf "[%s] %s" f.stage f.detail
+
+exception Failed of failure
+
+let fail stage fmt = Format.kasprintf (fun detail -> raise (Failed { stage; detail })) fmt
+
+(* A stage that raises (Machine_error on injected code, Failure from the
+   compiler, stack overflow in a runaway pass) is a finding at that
+   stage, not a harness crash. *)
+let staged stage f =
+  try f ()
+  with
+  | Failed _ as e -> raise e
+  | e -> fail stage "raised %s" (Printexc.to_string e)
+
+let scalar_fuel = 500_000
+let vliw_fuel = 2_000_000
+
+let outcomes_match (a : Interp.outcome) (b : Interp.outcome) =
+  match (a, b) with
+  | Interp.Halted, Interp.Halted -> true
+  | Interp.Fatal f1, Interp.Fatal f2 -> Fault.equal f1 f2
+  | Interp.Out_of_fuel, Interp.Out_of_fuel -> true
+  | _ -> false
+
+let pp_out l = String.concat "," (List.map string_of_int l)
+
+let executable_models =
+  List.filter (fun (m : Model.t) -> m.Model.executable) Model.all
+
+let compiled_equal (a : Driver.compiled) (b : Driver.compiled) =
+  Driver.code_size a = Driver.code_size b
+  && Label.Map.equal
+       (fun (s1 : Sched.t) (s2 : Sched.t) -> s1.Sched.issue = s2.Sched.issue)
+       a.Driver.schedules b.Driver.schedules
+  && Option.equal
+       (fun c1 c2 ->
+         Format.asprintf "%a" Psb_machine.Pcode.pp c1
+         = Format.asprintf "%a" Psb_machine.Pcode.pp c2)
+       a.Driver.pcode b.Driver.pcode
+
+(* stage 1: the two scalar oracles must agree with each other *)
+let check_scalar (g : Gen.t) (reference : Interp.result) ref_mem =
+  staged "interp-vs-scalar" (fun () ->
+      let mem = Gen.make_mem g in
+      let s = Scalar_sim.run ~fuel:scalar_fuel ~regs:Gen.regs ~mem g.Gen.program in
+      if not (Interp.equivalent reference s) then
+        fail "interp-vs-scalar" "interp %a / %s, scalar %a / %s"
+          Interp.pp_outcome reference.Interp.outcome (pp_out reference.Interp.output)
+          Interp.pp_outcome s.Interp.outcome (pp_out s.Interp.output);
+      if reference.Interp.cycles <> s.Interp.cycles then
+        fail "interp-vs-scalar" "cycles %d vs %d" reference.Interp.cycles
+          s.Interp.cycles;
+      if not (Memory.equal ref_mem mem) then
+        fail "interp-vs-scalar" "final memory differs")
+
+let run_vliw ?pred_kernel (compiled : Driver.compiled) ~mem =
+  match compiled.Driver.pcode with
+  | None -> invalid_arg "Diff.run_vliw: model not executable"
+  | Some pcode ->
+      (* not [Driver.run_vliw]: injected miscompiles can loop forever, so
+         the machine needs a much shorter leash than its 60M default *)
+      Vliw_sim.run ~fuel:vliw_fuel ?pred_kernel ~model:compiled.Driver.machine
+        ~regs:Gen.regs ~mem pcode
+
+(* stages 2-4, once per executable model *)
+let check_model ?inject (g : Gen.t) (scalar : Interp.result) scalar_mem profile
+    (model : Model.t) =
+  let m = model.Model.name in
+  let stage s = m ^ "/" ^ s in
+  let compiled =
+    staged (stage "compile") (fun () ->
+        Driver.compile ~verify:false ~model ~machine:Machine_model.base ~profile
+          g.Gen.program)
+  in
+  let compiled =
+    match (inject, compiled.Driver.pcode) with
+    | Some bug, Some pcode ->
+        { compiled with Driver.pcode = Some (Inject.apply bug pcode) }
+    | _ -> compiled
+  in
+  (* verify-then-run: the static verifier must accept what we are about
+     to execute (on injected code, a rejection here is the bug being
+     caught at compile time — still a finding for the fuzzer) *)
+  staged (stage "verify") (fun () ->
+      match compiled.Driver.pcode with
+      | None -> ()
+      | Some pcode ->
+          let report = Verify.run Machine_model.base pcode in
+          if not (Verify.ok report) then
+            fail (stage "verify") "%a" Verify.pp report);
+  let vliw_mem = Gen.make_mem g in
+  let vliw =
+    staged (stage "vliw-vs-scalar") (fun () ->
+        run_vliw compiled ~mem:vliw_mem)
+  in
+  staged (stage "vliw-vs-scalar") (fun () ->
+      match scalar.Interp.outcome with
+      | Interp.Out_of_fuel -> ()
+      | Interp.Fatal _ -> (
+          (* only same-fatality is defined: the compiler may hoist
+             independent side effects above a fatal trap *)
+          match vliw.Vliw_sim.outcome with
+          | Interp.Fatal _ -> ()
+          | o -> fail (stage "vliw-vs-scalar") "fatal scalar but vliw %a"
+                   Interp.pp_outcome o)
+      | Interp.Halted ->
+          if not (outcomes_match scalar.Interp.outcome vliw.Vliw_sim.outcome)
+          then
+            fail (stage "vliw-vs-scalar") "outcome %a" Interp.pp_outcome
+              vliw.Vliw_sim.outcome;
+          if scalar.Interp.output <> vliw.Vliw_sim.output then
+            fail (stage "vliw-vs-scalar") "output %s vs %s"
+              (pp_out scalar.Interp.output) (pp_out vliw.Vliw_sim.output);
+          if not (Memory.equal scalar_mem vliw_mem) then
+            fail (stage "vliw-vs-scalar") "final memory differs";
+          if scalar.Interp.faults_handled > 0 && vliw.Vliw_sim.faults_handled = 0
+          then
+            fail (stage "vliw-vs-scalar")
+              "scalar recovered %d faults but vliw reported no recovery"
+              scalar.Interp.faults_handled);
+  (* predicate-kernel identity: the bitmask kernel (what ran above) and
+     the reference map kernel must be cycle-exact *)
+  staged (stage "mask-vs-map") (fun () ->
+      let map =
+        run_vliw ~pred_kernel:Pred_kernel.Map compiled ~mem:(Gen.make_mem g)
+      in
+      let agree =
+        outcomes_match vliw.Vliw_sim.outcome map.Vliw_sim.outcome
+        && vliw.Vliw_sim.output = map.Vliw_sim.output
+        && vliw.Vliw_sim.cycles = map.Vliw_sim.cycles
+        && vliw.Vliw_sim.stats.Vliw_sim.commits = map.Vliw_sim.stats.Vliw_sim.commits
+        && vliw.Vliw_sim.stats.Vliw_sim.squashes = map.Vliw_sim.stats.Vliw_sim.squashes
+        && vliw.Vliw_sim.stats.Vliw_sim.recoveries
+           = map.Vliw_sim.stats.Vliw_sim.recoveries
+      in
+      if not agree then
+        fail (stage "mask-vs-map")
+          "mask %d cycles / %a, map %d cycles / %a" vliw.Vliw_sim.cycles
+          Interp.pp_outcome vliw.Vliw_sim.outcome map.Vliw_sim.cycles
+          Interp.pp_outcome map.Vliw_sim.outcome)
+
+(* stage 5: cache hit = cold compile, on the flagship model (the cache
+   key covers model/machine/options, so one model suffices per program) *)
+let check_cache (g : Gen.t) profile =
+  staged "cache" (fun () ->
+      let model = Model.region_pred and machine = Machine_model.base in
+      let cache = Compile_cache.create () in
+      let via_cache () =
+        Driver.compile ~cache ~model ~machine ~profile g.Gen.program
+      in
+      let first = via_cache () in
+      let second = via_cache () in
+      let fresh = Driver.compile ~model ~machine ~profile g.Gen.program in
+      if not (second == first) then
+        fail "cache" "second lookup recompiled instead of hitting";
+      if not (compiled_equal first fresh) then
+        fail "cache" "cache hit differs structurally from cold compile")
+
+let check ?inject (g : Gen.t) =
+  try
+    let scalar_mem = Gen.make_mem g in
+    let scalar =
+      staged "interp" (fun () ->
+          Interp.run ~fuel:scalar_fuel ~regs:Gen.regs ~mem:scalar_mem
+            g.Gen.program)
+    in
+    if scalar.Interp.outcome = Interp.Out_of_fuel then Ok ()
+    else begin
+      check_scalar g scalar scalar_mem;
+      let profile =
+        staged "profile" (fun () ->
+            snd (Driver.profile_of g.Gen.program ~regs:Gen.regs
+                   ~mem:(Gen.make_mem g)))
+      in
+      List.iter (check_model ?inject g scalar scalar_mem profile)
+        executable_models;
+      (match inject with None -> check_cache g profile | Some _ -> ());
+      Ok ()
+    end
+  with Failed f -> Error f

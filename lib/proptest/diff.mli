@@ -1,0 +1,36 @@
+(** Whole-pipeline differential driver.
+
+    One generated program, every stage boundary checked:
+
+    + the DSL-level reference ({!Psb_isa.Interp}) against the scalar
+      baseline front-end ({!Psb_machine.Scalar_sim}) — outcome, output,
+      cycles and final memory;
+    + for every executable {!Psb_compiler.Model}: compile (optionally
+      with an {!Inject}ed miscompile), statically verify
+      ({!Psb_verify.Verify}), then run the predicated code on the VLIW
+      machine with the bitmask predicate kernel and compare against the
+      scalar reference (exact for halting runs; same-fatality for fatal
+      traps; recovery episodes must not be lost);
+    + the reference map predicate kernel against the bitmask kernel,
+      cycle-exact (cycles, output, commits, squashes, recoveries);
+    + compile-cache hit against cold compile, structurally equal
+      (flagship model only — the cache key covers the rest).
+
+    The first failing stage is reported; an exception anywhere in the
+    pipeline (e.g. the machine's [Machine_error] on injected code) is a
+    failure of the stage that raised it, not a harness crash. *)
+
+type failure = {
+  stage : string;
+      (** [interp-vs-scalar], [compile], [verify], [vliw-vs-scalar],
+          [mask-vs-map], [cache], prefixed by the model name where
+          model-specific *)
+  detail : string;
+}
+
+val pp_failure : failure -> string
+
+val check : ?inject:Inject.t -> Gen.t -> (unit, failure) result
+(** Run the full stage chain on one program. With [inject], the bug is
+    applied to every executable model's compiled code before the verify
+    and run stages — a healthy harness must then return [Error]. *)

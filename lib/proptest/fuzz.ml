@@ -1,0 +1,136 @@
+module Pool = Psb_parallel.Pool
+
+type config = {
+  trials : int;
+  seed : int;
+  shape : Gen.shape;
+  inject : Inject.t option;
+  shrink : bool;
+  max_shrink_steps : int;
+  max_counterexamples : int;
+}
+
+let default =
+  {
+    trials = 200;
+    seed = 0;
+    shape = Gen.default_shape;
+    inject = None;
+    shrink = true;
+    max_shrink_steps = 1000;
+    max_counterexamples = 5;
+  }
+
+type counterexample = {
+  cx_trial : int;
+  cx_stage : string;
+  cx_detail : string;
+  cx_program : Gen.t;
+  cx_shrink_steps : int;
+}
+
+type outcome = { tested : int; counterexamples : counterexample list }
+
+let gen_trial cfg i =
+  Gen.gen cfg.shape (Random.State.make [| 0x50FB; cfg.seed; i |])
+
+exception Shrunk of Gen.t * Diff.failure
+
+let minimize cfg g failure =
+  let g = ref g and failure = ref failure and steps = ref 0 in
+  let progress = ref true in
+  while !progress && !steps < cfg.max_shrink_steps do
+    progress := false;
+    (* take the first candidate that still fails; Gen.shrink yields
+       structural drops first, so this is a greedy descent *)
+    match
+      Gen.shrink !g (fun candidate ->
+          match Diff.check ?inject:cfg.inject candidate with
+          | Ok () -> ()
+          | Error f -> raise (Shrunk (candidate, f)))
+    with
+    | () -> ()
+    | exception Shrunk (candidate, f) ->
+        g := candidate;
+        failure := f;
+        incr steps;
+        progress := true
+  done;
+  (!g, !failure, !steps)
+
+let run_trial cfg i =
+  let g = gen_trial cfg i in
+  match Diff.check ?inject:cfg.inject g with
+  | Ok () -> None
+  | Error f ->
+      let g, f, steps =
+        if cfg.shrink then minimize cfg g f else (g, f, 0)
+      in
+      Some
+        {
+          cx_trial = i;
+          cx_stage = f.Diff.stage;
+          cx_detail = f.Diff.detail;
+          cx_program = g;
+          cx_shrink_steps = steps;
+        }
+
+let run ?pool ?on_progress cfg =
+  let batch_size =
+    match pool with Some p -> max 1 (4 * Pool.jobs p) | None -> 16
+  in
+  let tested = ref 0 and found = ref [] in
+  let report_batch results =
+    List.iter
+      (fun r ->
+        incr tested;
+        match r with
+        | Ok None -> ()
+        | Ok (Some cx) -> found := cx :: !found
+        | Error (i, e) ->
+            found :=
+              {
+                cx_trial = i;
+                cx_stage = "harness";
+                cx_detail = e;
+                cx_program = gen_trial cfg i;
+                cx_shrink_steps = 0;
+              }
+              :: !found)
+      results;
+    match on_progress with
+    | Some f -> f ~tested:!tested ~found:(List.length !found)
+    | None -> ()
+  in
+  let i = ref 0 in
+  while !i < cfg.trials && List.length !found < cfg.max_counterexamples do
+    let n = min batch_size (cfg.trials - !i) in
+    let indices = List.init n (fun k -> !i + k) in
+    i := !i + n;
+    let results =
+      match pool with
+      | Some p ->
+          Pool.map p (fun idx -> run_trial cfg idx) indices
+          |> List.map2
+               (fun idx -> function
+                 | Ok r -> Ok r
+                 | Error e ->
+                     Error (idx, Printexc.to_string e.Pool.exn))
+               indices
+      | None ->
+          List.map
+            (fun idx ->
+              match run_trial cfg idx with
+              | r -> Ok r
+              | exception e -> Error (idx, Printexc.to_string e))
+            indices
+    in
+    report_batch results
+  done;
+  { tested = !tested; counterexamples = List.rev !found }
+
+let limits_fleet ?(n = 8) ?(shape = Gen.default_shape) ~seed () =
+  let st = Random.State.make [| 0x50FB; seed |] in
+  List.init n (fun i ->
+      let g = Gen.gen shape st in
+      Psb_eval.Limits.analyze (Gen.to_dsl ~name:(Printf.sprintf "gen-%03d" i) g))

@@ -1,0 +1,364 @@
+(* Plan-driven random-program generator: a [plan] is a pure description
+   of the program's shape (trip counts, diamond chains, per-arm op
+   lists, memory image); [build] derives the Program.t from it
+   deterministically. Generation draws a plan; shrinking edits the plan
+   and rebuilds, so every shrink candidate is a well-formed,
+   always-terminating program. *)
+
+open Psb_isa
+
+let reg = Reg.make
+let lbl = Label.make
+let rr i = Operand.reg (reg i)
+let im i = Operand.imm i
+
+(* Data registers the random ops read and write — small pool so WAW/WAR
+   collisions across diamond arms are frequent. *)
+let data_regs = [ 1; 2; 3; 4 ]
+let scratch = 6 (* comparison scratch *)
+let addr_reg = 7
+let counter = 10
+let inner_counter = 11
+let base = 20
+
+type shape = {
+  max_diamonds : int;
+  max_iters : int;
+  nesting : int;
+  alias_mask : int;
+  oob_prob : float;
+  fault_prob : float;
+  demand : [ `Random | `On | `Off ];
+  max_arm_ops : int;
+}
+
+let default_shape =
+  {
+    max_diamonds = 3;
+    max_iters = 8;
+    nesting = 1;
+    alias_mask = 63;
+    oob_prob = 0.1;
+    fault_prob = 0.1;
+    demand = `Random;
+    max_arm_ops = 3;
+  }
+
+type diamond = {
+  d_pre : Instr.op list;
+  d_cmp : Opcode.cmp;
+  d_cmp_reg : int;
+  d_cmp_operand : Operand.t;
+  d_true : Instr.op list;
+  d_false : Instr.op list;
+  d_join : Instr.op list;
+}
+
+type plan = {
+  p_iters : int;
+  p_outer : diamond list;
+  p_inner : (int * diamond list) option;
+  p_init : (int * int) list;
+  p_mem : (int * int) list;
+  p_demand : bool;
+}
+
+type t = {
+  plan : plan option;
+  program : Program.t;
+  mem_data : (int * int) list;
+  demand : bool;
+  descr : string;
+}
+
+(* ---------- plan -> program ---------- *)
+
+let build plan =
+  let blocks = ref [] in
+  let addb name body term =
+    blocks := Program.block (lbl name) body term :: !blocks
+  in
+  let first_of prefix ds next =
+    if ds = [] then next else prefix ^ "0_test"
+  in
+  let diamond_blocks prefix ds next =
+    let n = List.length ds in
+    List.iteri
+      (fun k (d : diamond) ->
+        let pre = Format.asprintf "%s%d" prefix k in
+        let nxt =
+          if k + 1 < n then Format.asprintf "%s%d_test" prefix (k + 1)
+          else next
+        in
+        addb (pre ^ "_test")
+          (d.d_pre
+          @ [
+              Instr.Cmp
+                { op = d.d_cmp; dst = reg scratch; a = rr d.d_cmp_reg;
+                  b = d.d_cmp_operand };
+            ])
+          (Instr.Br
+             { src = reg scratch; if_true = lbl (pre ^ "_t");
+               if_false = lbl (pre ^ "_f") });
+        addb (pre ^ "_t") d.d_true (Instr.Jmp (lbl (pre ^ "_join")));
+        addb (pre ^ "_f") d.d_false (Instr.Jmp (lbl (pre ^ "_join")));
+        addb (pre ^ "_join") d.d_join (Instr.Jmp (lbl nxt)))
+      ds
+  in
+  let after_outer =
+    match plan.p_inner with Some _ -> "inner_init" | None -> "latch"
+  in
+  addb "entry"
+    (Instr.Mov { dst = reg counter; src = im 0 }
+    :: List.map
+         (fun (r, v) -> Instr.Mov { dst = reg r; src = im v })
+         plan.p_init)
+    (Instr.Jmp (lbl "head"));
+  addb "head"
+    [ Instr.Cmp
+        { op = Opcode.Lt; dst = reg scratch; a = rr counter;
+          b = im plan.p_iters };
+    ]
+    (Instr.Br
+       { src = reg scratch;
+         if_true = lbl (first_of "d" plan.p_outer after_outer);
+         if_false = lbl "end" });
+  diamond_blocks "d" plan.p_outer after_outer;
+  (match plan.p_inner with
+  | None -> ()
+  | Some (n, ds) ->
+      addb "inner_init"
+        [ Instr.Mov { dst = reg inner_counter; src = im 0 } ]
+        (Instr.Jmp (lbl "inner_head"));
+      addb "inner_head"
+        [ Instr.Cmp
+            { op = Opcode.Lt; dst = reg scratch; a = rr inner_counter;
+              b = im n };
+        ]
+        (Instr.Br
+           { src = reg scratch;
+             if_true = lbl (first_of "i" ds "inner_latch");
+             if_false = lbl "latch" });
+      diamond_blocks "i" ds "inner_latch";
+      addb "inner_latch"
+        [ Instr.Alu
+            { op = Opcode.Add; dst = reg inner_counter;
+              a = rr inner_counter; b = im 1 };
+        ]
+        (Instr.Jmp (lbl "inner_head")));
+  addb "latch"
+    [ Instr.Alu { op = Opcode.Add; dst = reg counter; a = rr counter; b = im 1 } ]
+    (Instr.Jmp (lbl "head"));
+  addb "end"
+    [ Instr.Out (rr 1); Instr.Out (rr 2); Instr.Out (rr 3); Instr.Out (rr 4) ]
+    Instr.Halt;
+  let program = Program.make ~entry:(lbl "entry") (List.rev !blocks) in
+  let descr =
+    Format.asprintf "diamonds=%d%s iters=%d demand=%b"
+      (List.length plan.p_outer)
+      (match plan.p_inner with
+      | None -> ""
+      | Some (n, ds) -> Format.asprintf "+%d(inner x%d)" (List.length ds) n)
+      plan.p_iters plan.p_demand
+  in
+  {
+    plan = Some plan;
+    program;
+    mem_data = plan.p_mem;
+    demand = plan.p_demand;
+    descr;
+  }
+
+let handmade ?(demand = false) ?(mem_data = []) ~descr program =
+  { plan = None; program; mem_data; demand; descr }
+
+let num_diamonds t =
+  match t.plan with
+  | None -> 0
+  | Some p ->
+      List.length p.p_outer
+      + (match p.p_inner with Some (_, ds) -> List.length ds | None -> 0)
+
+(* ---------- generation ---------- *)
+
+let gen_operand st =
+  if QCheck.Gen.bool st then rr (QCheck.Gen.oneofl data_regs st)
+  else im (QCheck.Gen.int_range (-3) 9 st)
+
+let gen_alu_op st =
+  QCheck.Gen.oneofl
+    [ Opcode.Add; Opcode.Sub; Opcode.Mul; Opcode.And; Opcode.Or; Opcode.Xor ]
+    st
+
+(* Division divisors must cover the whole fault-recovery spectrum:
+   registers (value unknown until runtime, the case the small-pool bias
+   of the historical generator never emitted), immediates, and an
+   occasional literal zero (a certain divide fault). *)
+let gen_divisor st =
+  match QCheck.Gen.int_bound 5 st with
+  | 0 -> im 0
+  | 1 | 2 -> rr (QCheck.Gen.oneofl data_regs st)
+  | _ -> gen_operand st
+
+let mem_mask shape st =
+  if QCheck.Gen.float_bound_inclusive 1.0 st < shape.oob_prob then 511
+  else shape.alias_mask land 511
+
+(* One random straight-line operation (as a short op sequence: memory
+   accesses come with their address computation). Loads/stores index off
+   the single data structure at [base]; the index is usually masked to
+   [shape.alias_mask], but occasionally ranges over demand pages and,
+   rarely, out of range (fatal faults). Division can fault too. *)
+let gen_op shape st =
+  let dreg st = QCheck.Gen.oneofl data_regs st in
+  let alu st =
+    [ Instr.Alu
+        { op = gen_alu_op st; dst = reg (dreg st); a = gen_operand st;
+          b = gen_operand st };
+    ]
+  and mov st = [ Instr.Mov { dst = reg (dreg st); src = gen_operand st } ]
+  and load st =
+    [
+      Instr.Alu
+        { op = Opcode.And; dst = reg addr_reg; a = rr (dreg st);
+          b = im (mem_mask shape st) };
+      Instr.Load { dst = reg (dreg st); base = reg addr_reg; off = 0 };
+    ]
+  and store st =
+    [
+      Instr.Alu
+        { op = Opcode.And; dst = reg addr_reg; a = rr (dreg st);
+          b = im (mem_mask shape st) };
+      Instr.Store { src = reg (dreg st); base = reg addr_reg; off = 0 };
+    ]
+  and div st =
+    [ Instr.Alu
+        { op = Opcode.Div; dst = reg (dreg st); a = gen_operand st;
+          b = gen_divisor st };
+    ]
+  and cmp st =
+    [ Instr.Cmp
+        { op = QCheck.Gen.oneofl [ Opcode.Lt; Opcode.Eq; Opcode.Ge ] st;
+          dst = reg (dreg st); a = gen_operand st; b = gen_operand st };
+    ]
+  and out st = [ Instr.Out (gen_operand st) ] in
+  let w_div =
+    int_of_float (Float.round (shape.fault_prob *. 10.)) in
+  let cases =
+    List.filter
+      (fun (w, _) -> w > 0)
+      [ (3, alu); (1, mov); (2, load); (1, store); (w_div, div); (1, cmp);
+        (1, out) ]
+  in
+  QCheck.Gen.frequency cases st
+
+let gen_ops shape n st = List.concat (List.init n (fun _ -> gen_op shape st))
+
+let gen_diamond shape st =
+  {
+    d_pre = gen_ops shape (QCheck.Gen.int_bound 2 st) st;
+    d_cmp = QCheck.Gen.oneofl [ Opcode.Lt; Opcode.Ne; Opcode.Ge ] st;
+    d_cmp_reg = QCheck.Gen.oneofl data_regs st;
+    d_cmp_operand = gen_operand st;
+    d_true = gen_ops shape (1 + QCheck.Gen.int_bound (max 0 (shape.max_arm_ops - 1)) st) st;
+    d_false = gen_ops shape (1 + QCheck.Gen.int_bound (max 0 (shape.max_arm_ops - 1)) st) st;
+    d_join = gen_ops shape (QCheck.Gen.int_bound 1 st) st;
+  }
+
+let gen_plan shape st =
+  let ndiamonds = 1 + QCheck.Gen.int_bound (max 0 (shape.max_diamonds - 1)) st in
+  let iters = 2 + QCheck.Gen.int_bound (max 0 (shape.max_iters - 2)) st in
+  let inner =
+    if shape.nesting >= 2 && QCheck.Gen.bool st then
+      Some
+        ( 1 + QCheck.Gen.int_bound 2 st,
+          List.init (1 + QCheck.Gen.int_bound 1 st) (fun _ ->
+              gen_diamond shape st) )
+    else None
+  in
+  {
+    p_iters = iters;
+    p_outer = List.init ndiamonds (fun _ -> gen_diamond shape st);
+    p_inner = inner;
+    p_init =
+      [
+        (1, QCheck.Gen.int_bound 20 st); (2, QCheck.Gen.int_bound 20 st);
+        (3, 1); (4, 2);
+      ];
+    p_mem = List.init 64 (fun k -> (k, QCheck.Gen.int_range (-20) 40 st));
+    p_demand =
+      (match shape.demand with
+      | `On -> true
+      | `Off -> false
+      | `Random -> QCheck.Gen.bool st);
+  }
+
+let gen shape st = build (gen_plan shape st)
+
+(* ---------- shrinking ---------- *)
+
+let shrink_ops = QCheck.Shrink.list_spine
+
+let shrink_diamond (d : diamond) yield =
+  shrink_ops d.d_pre (fun l -> yield { d with d_pre = l });
+  shrink_ops d.d_true (fun l -> yield { d with d_true = l });
+  shrink_ops d.d_false (fun l -> yield { d with d_false = l });
+  shrink_ops d.d_join (fun l -> yield { d with d_join = l })
+
+let shrink_plan (p : plan) yield =
+  (* structural candidates first (drop whole loops/diamonds), then trip
+     counts, then per-op candidates — the greedy minimizer takes the
+     first failing candidate, so order is a descent strategy *)
+  (match p.p_inner with
+  | Some _ -> yield { p with p_inner = None }
+  | None -> ());
+  QCheck.Shrink.list_spine p.p_outer (fun ds -> yield { p with p_outer = ds });
+  (match p.p_inner with
+  | Some (n, ds) ->
+      QCheck.Shrink.list_spine ds (fun ds' ->
+          yield { p with p_inner = Some (n, ds') });
+      QCheck.Shrink.int n (fun n' -> yield { p with p_inner = Some (n', ds) })
+  | None -> ());
+  QCheck.Shrink.int p.p_iters (fun n -> yield { p with p_iters = n });
+  QCheck.Shrink.list_elems shrink_diamond p.p_outer (fun ds ->
+      yield { p with p_outer = ds });
+  match p.p_inner with
+  | Some (n, ds) ->
+      QCheck.Shrink.list_elems shrink_diamond ds (fun ds' ->
+          yield { p with p_inner = Some (n, ds') })
+  | None -> ()
+
+let shrink t yield =
+  match t.plan with
+  | None -> ()
+  | Some p -> shrink_plan p (fun p' -> yield (build p'))
+
+let pp g = Format.asprintf "%s@.%a" g.descr Program.pp g.program
+
+let arb ?(shape = default_shape) () =
+  QCheck.make ~print:pp ~shrink (gen shape)
+
+(* ---------- historical interface ---------- *)
+
+let gen_program st = gen default_shape st
+let arb_program = arb ()
+let pp_gprog = pp
+
+let make_mem g =
+  let mem =
+    if g.demand then Memory.create_demand ~size:512 ~unmapped:(128, 384)
+    else Memory.create ~size:512
+  in
+  List.iter (fun (a, v) -> Memory.poke mem a v) g.mem_data;
+  mem
+
+let regs = [ (reg base, 0) ]
+
+let to_dsl ?(name = "gen") g =
+  {
+    Psb_workloads.Dsl.name;
+    description = g.descr;
+    program = g.program;
+    regs;
+    make_mem = (fun () -> make_mem g);
+  }

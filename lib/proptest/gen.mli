@@ -1,0 +1,117 @@
+(** Random structured-program generator for whole-pipeline property
+    testing.
+
+    Produces always-terminating programs — counted loops (optionally
+    nested) around chains of data-dependent diamonds — with loads,
+    stores, faulting arithmetic, demand paging and occasional
+    out-of-bounds accesses. The generator first draws a {!plan} (a pure
+    data description of the program's shape) and derives the [Program.t]
+    deterministically from it; shrinking operates on the plan — drop
+    diamonds, drop ops, shrink iteration counts, drop the inner loop —
+    and rebuilds, so failing properties reduce to minimal
+    counterexamples instead of unshrunk dumps. *)
+
+open Psb_isa
+
+(** {1 Shape parameters} *)
+
+type shape = {
+  max_diamonds : int;  (** diamonds per loop body (at least 1 is drawn) *)
+  max_iters : int;  (** outer loop trip-count bound (at least 2) *)
+  nesting : int;
+      (** loop-nesting depth: [1] = a single counted loop, [>= 2] may
+          additionally wrap a second diamond chain in an inner counted
+          loop *)
+  alias_mask : int;
+      (** address mask for generated loads/stores — a smaller mask
+          concentrates accesses on fewer words, raising the memory
+          aliasing density the scheduler has to disambiguate *)
+  oob_prob : float;
+      (** probability that a memory access uses the wide (511) mask
+          instead of [alias_mask], ranging over demand pages and,
+          rarely, out of bounds *)
+  fault_prob : float;
+      (** relative weight of faulting division among generated ops *)
+  demand : [ `Random | `On | `Off ];  (** demand-paged memory *)
+  max_arm_ops : int;  (** random ops bound per diamond arm *)
+}
+
+val default_shape : shape
+(** Matches the historical [test/gen_programs.ml] distribution:
+    1-3 diamonds, 2-8 iterations, single loop, mask 63, 10% wide
+    accesses, division (register or immediate divisors, occasionally a
+    literal zero) at weight ~1/10, random demand paging. *)
+
+(** {1 Plans and generated programs} *)
+
+type diamond = {
+  d_pre : Instr.op list;  (** ops before the branch compare *)
+  d_cmp : Opcode.cmp;
+  d_cmp_reg : int;
+  d_cmp_operand : Operand.t;
+  d_true : Instr.op list;
+  d_false : Instr.op list;
+  d_join : Instr.op list;
+}
+
+type plan = {
+  p_iters : int;  (** outer trip count *)
+  p_outer : diamond list;  (** outer-loop diamond chain *)
+  p_inner : (int * diamond list) option;
+      (** optional inner counted loop: trip count and its own chain *)
+  p_init : (int * int) list;  (** initial data-register values *)
+  p_mem : (int * int) list;  (** initial memory words *)
+  p_demand : bool;
+}
+
+type t = {
+  plan : plan option;
+      (** [None] for handmade/corpus programs — those never shrink *)
+  program : Program.t;
+  mem_data : (int * int) list;
+  demand : bool;
+  descr : string;
+}
+
+val build : plan -> t
+(** Deterministically derive the program from a plan. *)
+
+val handmade :
+  ?demand:bool -> ?mem_data:(int * int) list -> descr:string -> Program.t -> t
+(** Wrap an explicit program (corpus replay, handcrafted regressions).
+    The result has no plan and yields no shrink candidates. *)
+
+val num_diamonds : t -> int
+(** Diamonds in the plan (outer + inner); [0] for handmade programs. *)
+
+(** {1 Generation and shrinking} *)
+
+val gen : shape -> Random.State.t -> t
+val arb : ?shape:shape -> unit -> t QCheck.arbitrary
+
+val shrink : t -> t QCheck.Iter.t
+(** Plan-level shrink candidates, each rebuilt into a full program:
+    drop the inner loop, drop diamonds, shrink trip counts, drop
+    individual ops from diamond arms. *)
+
+val pp : t -> string
+
+(** {1 Historical interface (test/gen_programs.ml)} *)
+
+val data_regs : int list
+val gen_program : Random.State.t -> t
+(** [gen default_shape]. *)
+
+val arb_program : t QCheck.arbitrary
+(** [arb ~shape:default_shape ()] — shrinking included. *)
+
+val make_mem : t -> Memory.t
+val regs : (Reg.t * int) list
+val pp_gprog : t -> string
+
+(** {1 Bridges} *)
+
+val to_dsl : ?name:string -> t -> Psb_workloads.Dsl.t
+(** View a generated program as a workload (for {!Psb_eval.Limits} and
+    the evaluation harness): same program, registers and fresh-memory
+    factory. *)

@@ -1,0 +1,28 @@
+let parse_env name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some n
+      | None ->
+          Printf.eprintf "[psb] ignoring malformed %s=%S (want an integer)\n%!"
+            name s;
+          None)
+
+let seed =
+  lazy
+    (let s =
+       match parse_env "PSB_QCHECK_SEED" with
+       | Some n -> n
+       | None -> (
+           match parse_env "QCHECK_SEED" with
+           | Some n -> n
+           | None ->
+               Random.self_init ();
+               Random.int 1_000_000_000)
+     in
+     Printf.eprintf "[psb] qcheck seed: %d (replay: PSB_QCHECK_SEED=%d)\n%!" s s;
+     s)
+
+let value () = Lazy.force seed
+let rand () = Random.State.make [| value () |]

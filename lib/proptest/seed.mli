@@ -1,0 +1,15 @@
+(** Replayable random seeds for property runs.
+
+    One process-wide seed, resolved once: [PSB_QCHECK_SEED] if set (and a
+    valid integer), else [QCHECK_SEED] (the stock qcheck-alcotest
+    variable), else self-initialised. The seed is printed to stderr on
+    first use with the one-command replay recipe, so any CI failure
+    reproduces locally with [PSB_QCHECK_SEED=N dune runtest]. *)
+
+val value : unit -> int
+(** The resolved seed (prints the replay line on first call). *)
+
+val rand : unit -> Random.State.t
+(** A fresh state derived from {!value} — one per property, so a single
+    seed replays every property in a test binary regardless of how many
+    run before it. *)

@@ -1,149 +1,5 @@
-(* Shared random-program generator for property-based differential
-   testing: structured, always-terminating programs (counted loops around
-   chains of data-dependent diamonds) with loads, stores, faulting
-   arithmetic, demand paging and occasional out-of-bounds accesses. *)
+(* The shared random-program generator now lives in lib/proptest as
+   [Psb_proptest.Gen] (shape-tunable, shrinkable, reused by the fuzzer
+   and the bench); this shim keeps the historical test-local name. *)
 
-open Psb_isa
-
-let reg = Reg.make
-let lbl = Label.make
-let rr i = Operand.reg (reg i)
-let im i = Operand.imm i
-
-(* ---------- generator ---------- *)
-
-type gprog = {
-  program : Program.t;
-  mem_data : (int * int) list;
-  demand : bool;
-  descr : string;
-}
-
-let pp_gprog g =
-  Format.asprintf "%s@.%a" g.descr Program.pp g.program
-
-(* Data registers the random ops read and write — small pool so WAW/WAR
-   collisions across diamond arms are frequent. *)
-let data_regs = [ 1; 2; 3; 4 ]
-let scratch = 6 (* comparison scratch *)
-let addr_reg = 7
-let counter = 10
-let base = 20
-
-let gen_operand st =
-  if QCheck.Gen.bool st then rr (QCheck.Gen.oneofl data_regs st)
-  else im (QCheck.Gen.int_range (-3) 9 st)
-
-let gen_alu_op st =
-  QCheck.Gen.oneofl
-    [ Opcode.Add; Opcode.Sub; Opcode.Mul; Opcode.And; Opcode.Or; Opcode.Xor ]
-    st
-
-(* One random straight-line operation (as a short op sequence: memory
-   accesses come with their address computation). Loads/stores index off
-   the single data structure at [base]; the index is usually masked in
-   bounds, but occasionally ranges over demand pages and, rarely, out of
-   range (fatal faults). Division can fault too. *)
-let gen_op st =
-  match QCheck.Gen.int_bound 9 st with
-  | 0 | 1 | 2 ->
-      let d = QCheck.Gen.oneofl data_regs st in
-      [ Instr.Alu { op = gen_alu_op st; dst = reg d; a = gen_operand st; b = gen_operand st } ]
-  | 3 ->
-      let d = QCheck.Gen.oneofl data_regs st in
-      [ Instr.Mov { dst = reg d; src = gen_operand st } ]
-  | 4 | 5 ->
-      let d = QCheck.Gen.oneofl data_regs st in
-      let x = QCheck.Gen.oneofl data_regs st in
-      let mask = if QCheck.Gen.int_bound 9 st = 0 then 511 else 63 in
-      [
-        Instr.Alu { op = Opcode.And; dst = reg addr_reg; a = rr x; b = im mask };
-        Instr.Load { dst = reg d; base = reg addr_reg; off = 0 };
-      ]
-  | 6 ->
-      let s = QCheck.Gen.oneofl data_regs st in
-      let x = QCheck.Gen.oneofl data_regs st in
-      [
-        Instr.Alu { op = Opcode.And; dst = reg addr_reg; a = rr x; b = im 63 };
-        Instr.Store { src = reg s; base = reg addr_reg; off = 0 };
-      ]
-  | 7 ->
-      let d = QCheck.Gen.oneofl data_regs st in
-      (* division faults on zero divisors sometimes *)
-      [ Instr.Alu { op = Opcode.Div; dst = reg d; a = gen_operand st; b = gen_operand st } ]
-  | 8 ->
-      let d = QCheck.Gen.oneofl data_regs st in
-      [
-        Instr.Cmp
-          { op = QCheck.Gen.oneofl [ Opcode.Lt; Opcode.Eq; Opcode.Ge ] st;
-            dst = reg d; a = gen_operand st; b = gen_operand st };
-      ]
-  | _ -> [ Instr.Out (gen_operand st) ]
-
-let gen_ops n st = List.concat (List.init n (fun _ -> gen_op st))
-
-let gen_program st =
-  let ndiamonds = 1 + QCheck.Gen.int_bound 2 st in
-  let iters = 2 + QCheck.Gen.int_bound 6 st in
-  let blocks = ref [] in
-  let addb name body term = blocks := Program.block (lbl name) body term :: !blocks in
-  (* entry *)
-  addb "entry"
-    [
-      Instr.Mov { dst = reg counter; src = im 0 };
-      Instr.Mov { dst = reg 1; src = im (QCheck.Gen.int_bound 20 st) };
-      Instr.Mov { dst = reg 2; src = im (QCheck.Gen.int_bound 20 st) };
-      Instr.Mov { dst = reg 3; src = im 1 };
-      Instr.Mov { dst = reg 4; src = im 2 };
-    ]
-    (Instr.Jmp (lbl "head"));
-  addb "head"
-    [ Instr.Cmp { op = Opcode.Lt; dst = reg scratch; a = rr counter; b = im iters } ]
-    (Instr.Br { src = reg scratch; if_true = lbl "d0_test"; if_false = lbl "end" });
-  for k = 0 to ndiamonds - 1 do
-    let pre = Format.asprintf "d%d" k in
-    let next = if k + 1 < ndiamonds then Format.asprintf "d%d_test" (k + 1) else "latch" in
-    addb (pre ^ "_test")
-      (gen_ops (QCheck.Gen.int_bound 2 st) st
-      @ [
-          Instr.Cmp
-            { op = QCheck.Gen.oneofl [ Opcode.Lt; Opcode.Ne; Opcode.Ge ] st;
-              dst = reg scratch;
-              a = rr (QCheck.Gen.oneofl data_regs st);
-              b = gen_operand st };
-        ])
-      (Instr.Br { src = reg scratch; if_true = lbl (pre ^ "_t"); if_false = lbl (pre ^ "_f") });
-    addb (pre ^ "_t") (gen_ops (1 + QCheck.Gen.int_bound 2 st) st) (Instr.Jmp (lbl (pre ^ "_join")));
-    addb (pre ^ "_f") (gen_ops (1 + QCheck.Gen.int_bound 2 st) st) (Instr.Jmp (lbl (pre ^ "_join")));
-    addb (pre ^ "_join") (gen_ops (QCheck.Gen.int_bound 1 st) st) (Instr.Jmp (lbl next))
-  done;
-  addb "latch"
-    [ Instr.Alu { op = Opcode.Add; dst = reg counter; a = rr counter; b = im 1 } ]
-    (Instr.Jmp (lbl "head"));
-  addb "end"
-    [ Instr.Out (rr 1); Instr.Out (rr 2); Instr.Out (rr 3); Instr.Out (rr 4) ]
-    Instr.Halt;
-  let program = Program.make ~entry:(lbl "entry") (List.rev !blocks) in
-  let mem_data =
-    List.init 64 (fun k -> (k, QCheck.Gen.int_range (-20) 40 st))
-  in
-  let demand = QCheck.Gen.bool st in
-  {
-    program;
-    mem_data;
-    demand;
-    descr = Format.asprintf "diamonds=%d iters=%d demand=%b" ndiamonds iters demand;
-  }
-
-let arb_program = QCheck.make ~print:pp_gprog gen_program
-
-let make_mem g =
-  let mem =
-    if g.demand then Memory.create_demand ~size:512 ~unmapped:(128, 384)
-    else Memory.create ~size:512
-  in
-  List.iter (fun (a, v) -> Memory.poke mem a v) g.mem_data;
-  mem
-
-let regs = [ (reg base, 0) ]
-
+include Psb_proptest.Gen

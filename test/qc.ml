@@ -1,0 +1,6 @@
+(* Seed-replayable QCheck → Alcotest adapter: every property draws its
+   generator state from [Psb_proptest.Seed] (PSB_QCHECK_SEED, else
+   QCHECK_SEED, else self-init — printed to stderr either way), so any
+   failure replays with [PSB_QCHECK_SEED=N dune runtest]. *)
+
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(Psb_proptest.Seed.rand ()) t

@@ -171,7 +171,7 @@ let run_cell (idx, g, (model : Model.t)) =
 (* A handcrafted batch member that deterministically touches unmapped
    demand pages, so the recovery-coverage assertion below never depends
    on the random draw. *)
-let recovery_prog : Gen_programs.gprog =
+let recovery_prog : Gen_programs.t =
   let reg = Reg.make and lbl = Label.make in
   let blocks =
     [
@@ -188,12 +188,8 @@ let recovery_prog : Gen_programs.gprog =
         Instr.Halt;
     ]
   in
-  {
-    Gen_programs.program = Program.make ~entry:(lbl "entry") blocks;
-    mem_data = [];
-    demand = true;
-    descr = "handcrafted demand-page recovery";
-  }
+  Gen_programs.handmade ~demand:true ~descr:"handcrafted demand-page recovery"
+    (Program.make ~entry:(lbl "entry") blocks)
 
 let test_parallel_differential () =
   let st = Random.State.make [| 0xC0FFEE; 42 |] in
@@ -313,7 +309,7 @@ let () =
   Alcotest.run "differential"
     [
       ( "differential",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Qc.to_alcotest
           [
             differential Model.region_pred;
             differential Model.trace_pred;

@@ -216,6 +216,26 @@ let test_limits () =
       check_bool (r.Limits.name ^ " headroom >= 2x") true (r.Limits.headroom >= 2.0))
     rows
 
+let test_limits_value_oracle () =
+  (* the value-prediction oracle only removes constraints relative to
+     the unconstrained oracle, so its IPC must dominate on every
+     workload — and actually open extra headroom somewhere *)
+  let rows = Limits.analyze_suite () in
+  List.iter
+    (fun (r : Limits.row) ->
+      check_bool
+        (Printf.sprintf "%s value %.3f >= oracle %.3f" r.Limits.name
+           r.Limits.value_ipc r.Limits.oracle_ipc)
+        true
+        (r.Limits.value_ipc >= r.Limits.oracle_ipc -. 1e-9);
+      check_bool (r.Limits.name ^ " value_headroom consistent") true
+        (abs_float
+           (r.Limits.value_headroom -. (r.Limits.value_ipc /. r.Limits.oracle_ipc))
+        < 1e-6))
+    rows;
+  check_bool "value prediction opens extra headroom on some workload" true
+    (List.exists (fun (r : Limits.row) -> r.Limits.value_headroom > 1.05) rows)
+
 (* ---------- benchmark regression gating ---------- *)
 
 let bech_doc groups =
@@ -262,6 +282,32 @@ let test_baseline_parse () =
   match Baseline.of_string "not json" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted malformed JSON"
+
+(* the gate's first line of defence: every malformed baseline the bench
+   could be pointed at must come back as [Error] (which [bench
+   --baseline] turns into a diagnostic and exit 2), never an exception *)
+let test_baseline_malformed_is_error () =
+  let cases =
+    [
+      ("empty file", "");
+      ("whitespace only", "   \n  ");
+      ("wrong toplevel shape", "[1, 2]");
+      ("truncated JSON", "{\"schema\": \"psb-bechamel-v1\", \"groups\": [");
+      ("groups not a list", "{\"schema\": \"psb-bechamel-v1\", \"groups\": 3}");
+      ( "non-numeric ns_per_run",
+        "{\"schema\": \"psb-bechamel-v1\", \"groups\": [{\"name\": \"g\", \
+         \"results\": [{\"name\": \"g/a\", \"ns_per_run\": \"fast\"}]}]}" );
+    ]
+  in
+  List.iter
+    (fun (what, text) ->
+      match Baseline.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: accepted" what
+      | exception e ->
+          Alcotest.failf "%s: raised %s instead of returning Error" what
+            (Printexc.to_string e))
+    cases
 
 let test_baseline_within_threshold () =
   let baseline = parse_doc [ ("g", [ ("g/a", 100.); ("g/b", 100.) ]) ] in
@@ -383,7 +429,12 @@ let () =
           Alcotest.test_case "fig7 ordering" `Slow test_fig7_ordering;
           Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
         ] );
-      ("limits", [ Alcotest.test_case "headroom" `Quick test_limits ]);
+      ( "limits",
+        [
+          Alcotest.test_case "headroom" `Quick test_limits;
+          Alcotest.test_case "value oracle dominates" `Quick
+            test_limits_value_oracle;
+        ] );
       ( "harness",
         [
           Alcotest.test_case "geomean is total" `Quick test_geomean_total;
@@ -394,6 +445,8 @@ let () =
       ( "baseline",
         [
           Alcotest.test_case "parse" `Quick test_baseline_parse;
+          Alcotest.test_case "malformed baselines are diagnostics" `Quick
+            test_baseline_malformed_is_error;
           Alcotest.test_case "within threshold" `Quick
             test_baseline_within_threshold;
           Alcotest.test_case "injected regression fails" `Quick

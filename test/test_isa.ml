@@ -456,7 +456,7 @@ e:
       | Error _ -> ())
     bad
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "isa"

@@ -1192,8 +1192,8 @@ let () =
         ] );
       ( "pred-kernel",
         [
-          QCheck_alcotest.to_alcotest prop_mask_eval_agrees;
-          QCheck_alcotest.to_alcotest prop_mask_eval_tracks_resets;
+          Qc.to_alcotest prop_mask_eval_agrees;
+          Qc.to_alcotest prop_mask_eval_tracks_resets;
           Alcotest.test_case "regfile dirty gating" `Quick
             test_regfile_dirty_gating;
           Alcotest.test_case "store-buffer fresh entry" `Quick

@@ -287,7 +287,7 @@ let () =
   Alcotest.run "properties"
     [
       ( "runit",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Qc.to_alcotest
           [
             prop_exits_disjoint;
             prop_copies_disjoint;
@@ -296,14 +296,14 @@ let () =
             prop_setc_always;
           ] );
       ( "sched",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Qc.to_alcotest
           [
             prop_validator_all_models;
             prop_completion_before_exits;
             prop_exits_wait_for_conditions;
           ] );
       ( "cache",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Qc.to_alcotest
           [
             prop_cache_hit_equals_fresh;
             prop_cache_keys_distinct;

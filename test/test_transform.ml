@@ -265,10 +265,10 @@ let () =
         [
           Alcotest.test_case "benchmark suite" `Quick test_unroll_suite;
           Alcotest.test_case "compiles + runs" `Quick test_unroll_compiles;
-          QCheck_alcotest.to_alcotest prop_unroll_preserves;
+          Qc.to_alcotest prop_unroll_preserves;
         ] );
       ( "preservation",
         Alcotest.test_case "benchmark suite" `Quick test_optimize_suite
-        :: List.map QCheck_alcotest.to_alcotest
+        :: List.map Qc.to_alcotest
              [ prop_optimize_preserves; prop_optimized_still_compiles ] );
     ]

@@ -375,5 +375,5 @@ let () =
               test_report_metrics;
           ] );
       ( "qcheck",
-        [ QCheck_alcotest.to_alcotest prop_shadow_overflow ] );
+        [ Qc.to_alcotest prop_shadow_overflow ] );
     ]

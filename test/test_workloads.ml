@@ -136,6 +136,43 @@ let test_synth_generator () =
   check_bool "p=0.95 predictable" true (acc 0.95 > 0.9);
   check_bool "p=0.5 unpredictable" true (acc 0.5 < 0.75)
 
+(* ----- Synth.generate over its whole parameter space: every sweep
+   point must halt under the interpreter and round-trip through the
+   assembler (the sweep experiments and the docs both rely on it) ----- *)
+
+let arb_synth_params =
+  let gen st =
+    {
+      Synth.iterations = 1 + QCheck.Gen.int_bound 199 st;
+      depth = 1 + QCheck.Gen.int_bound 5 st;
+      taken_prob = QCheck.Gen.float_bound_inclusive 1.0 st;
+      work_per_arm = 1 + QCheck.Gen.int_bound 4 st;
+      seed = QCheck.Gen.int_bound 10_000 st;
+    }
+  in
+  let print (p : Synth.params) =
+    Printf.sprintf "{iterations=%d; depth=%d; taken_prob=%.3f; work_per_arm=%d; seed=%d}"
+      p.Synth.iterations p.Synth.depth p.Synth.taken_prob p.Synth.work_per_arm
+      p.Synth.seed
+  in
+  QCheck.make ~print gen
+
+let prop_synth_halts_and_roundtrips =
+  QCheck.Test.make ~name:"Synth.generate halts + asm round-trips" ~count:100
+    arb_synth_params (fun p ->
+      let w = Synth.generate p in
+      let res =
+        Interp.run ~fuel:2_000_000 ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+          w.Dsl.program
+      in
+      if res.Interp.outcome <> Interp.Halted then
+        QCheck.Test.fail_reportf "%s: %a" (Synth.name_of p) Interp.pp_outcome
+          res.Interp.outcome;
+      let text = Asm.print w.Dsl.program in
+      match Asm.parse text with
+      | Error m -> QCheck.Test.fail_reportf "parse failed: %s" m
+      | Ok prog -> Asm.print prog = text)
+
 let () =
   Alcotest.run "workloads"
     [
@@ -158,5 +195,7 @@ let () =
           Alcotest.test_case "estimates all models" `Slow
             test_estimates_all_models;
         ] );
-      ("synth", [ Alcotest.test_case "generator" `Quick test_synth_generator ]);
+      ( "synth",
+        Alcotest.test_case "generator" `Quick test_synth_generator
+        :: List.map Qc.to_alcotest [ prop_synth_halts_and_roundtrips ] );
     ]
