@@ -266,10 +266,63 @@ module Events_bench = struct
       ]
 end
 
+(* ----- execution-kernel microbenches -----
+
+   Whole-workload simulation under the two execution kernels:
+   [sim/lowered] walks the flat structure-of-arrays form of
+   [Psb_machine.Lowered] (the default), [sim/tree] re-walks the
+   [Pcode.bundle] slot lists every cycle (the differential-testing
+   reference). The compile — and the lowering cached inside it — is
+   shared by both rows, so the delta is purely the per-cycle issue-phase
+   cost. [lower] prices the one-time lowering pass itself, to show it is
+   amortised after a handful of simulated cycles. *)
+module Lowered_bench = struct
+  module Driver = Psb_compiler.Driver
+  module Model = Psb_compiler.Model
+  module Machine_model = Psb_machine.Machine_model
+  module Lowered = Psb_machine.Lowered
+  module Exec_kernel = Psb_machine.Exec_kernel
+  module Suite = Psb_workloads.Suite
+  module Dsl = Psb_workloads.Dsl
+
+  let w = lazy (Suite.find "compress")
+
+  let compiled =
+    lazy
+      (let w = Lazy.force w in
+       let _, profile =
+         Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs
+           ~mem:(w.Dsl.make_mem ())
+       in
+       Driver.compile ~model:Model.region_pred ~machine:Machine_model.base
+         ~profile w.Dsl.program)
+
+  let run kernel () =
+    let w = Lazy.force w in
+    ignore
+      (Driver.run_vliw ~exec_kernel:kernel (Lazy.force compiled)
+         ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ()))
+
+  let tests () =
+    let open Bechamel in
+    let t name f = Test.make ~name (Staged.stage f) in
+    Test.make_grouped ~name:"lowered"
+      [
+        t "sim/lowered" (run Exec_kernel.Lowered);
+        t "sim/tree" (run Exec_kernel.Tree);
+        t "lower" (fun () ->
+            let c = Lazy.force compiled in
+            match c.Driver.pcode with
+            | Some code -> ignore (Lowered.compile ~machine:c.Driver.machine code)
+            | None -> assert false);
+      ]
+end
+
 (* Bechamel timings. Groups: [experiments] times the full regeneration of
    each table/figure against a null formatter; [pred_kernel] times the
    per-cycle predicate-evaluation kernels; [events] times the structured
-   event log against the machine hot paths. *)
+   event log against the machine hot paths; [lowered] times whole-workload
+   simulation under the lowered vs tree execution kernels. *)
 let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
   [
     ( "experiments",
@@ -283,6 +336,7 @@ let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
              experiments) );
     ("pred_kernel", Pred_bench.tests);
     ("events", Events_bench.tests);
+    ("lowered", Lowered_bench.tests);
   ]
 
 let bench_usage_error name =

@@ -11,6 +11,9 @@
      speculate WORKLOAD     per-region speculation scorecards
      verify [WORKLOAD]      static speculation-safety check of compiled code
      speedup WORKLOAD       all models side by side
+     exec FILE.psb          assemble and run a .psb file
+     pexec FILE.ppsb        run hand-written predicated code on the machine
+     fuzz                   whole-pipeline differential fuzzing
      experiments [NAME..]   regenerate the paper's tables and figures *)
 
 open Cmdliner

@@ -30,9 +30,10 @@ let add_machine b (m : Machine_model.t) =
        m.Machine_model.sb_capacity m.Machine_model.dcache_ports)
 
 (* Bumped whenever the [Driver.compiled] representation changes shape
-   (v2: pcode slots carry compiled predicate masks), so a process mixing
+   (v2: pcode slots carry compiled predicate masks; v3: compiles carry
+   the lowered structure-of-arrays region form), so a process mixing
    library versions through a shared cache can never alias keys. *)
-let format_version = 2
+let format_version = 3
 
 let key ~model ~machine ~single_shadow ~avoid_commit_deps ~verify ~profile
     program =

@@ -13,6 +13,7 @@ type compiled = {
   units : Runit.t Label.Map.t;
   schedules : Sched.t Label.Map.t;
   pcode : Pcode.t option;
+  lowered : Psb_machine.Lowered.t option;
 }
 
 let profile_of program ~regs ~mem =
@@ -85,6 +86,15 @@ let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~verify
                   verification@.%a"
                  model.Model.name Psb_verify.Verify.pp report))
   | _ -> ());
+  (* Lower the verified regions to the flat threaded form the machine's
+     default execution kernel walks; cached alongside the pcode so every
+     cache hit skips the lowering too. *)
+  let lowered =
+    Option.map
+      (fun code ->
+        timed "lower" (fun () -> Psb_machine.Lowered.compile ~machine code))
+      pcode
+  in
   (match metrics with
   | None -> ()
   | Some m ->
@@ -101,7 +111,7 @@ let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~verify
               (float_of_int (Array.length s.Sched.issue)
               /. float_of_int s.Sched.length))
         schedules);
-  { model; machine; units; schedules; pcode }
+  { model; machine; units; schedules; pcode; lowered }
 
 let compile ?metrics ?cache ?(single_shadow = true) ?(avoid_commit_deps = false)
     ?(verify = true) ~model ~machine ~profile program =
@@ -122,15 +132,16 @@ let estimate_cycles c program ~block_trace =
   (Cycles.measure ~units:c.units ~schedules:c.schedules program ~block_trace)
     .Cycles.cycles
 
-let run_vliw ?regfile_mode ?pred_kernel ?on_event ?events ?metrics c ~regs ~mem =
+let run_vliw ?regfile_mode ?pred_kernel ?exec_kernel ?on_event ?events ?metrics
+    c ~regs ~mem =
   match c.pcode with
   | None ->
       invalid_arg
         (Format.asprintf "Driver.run_vliw: model %s is not executable"
            c.model.Model.name)
   | Some code ->
-      Vliw_sim.run ?regfile_mode ?pred_kernel ?on_event ?events ?metrics
-        ~model:c.machine ~regs ~mem code
+      Vliw_sim.run ?regfile_mode ?pred_kernel ?exec_kernel ?lowered:c.lowered
+        ?on_event ?events ?metrics ~model:c.machine ~regs ~mem code
 
 let code_size c =
   match c.pcode with

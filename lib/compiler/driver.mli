@@ -13,6 +13,11 @@ type compiled = {
   units : Runit.t Label.Map.t;
   schedules : Sched.t Label.Map.t;
   pcode : Pcode.t option;  (** for executable models *)
+  lowered : Psb_machine.Lowered.t option;
+      (** [pcode] lowered to the flat threaded form ({!Psb_machine.Lowered}),
+          built once per compile (and so shared by every cache hit). Always
+          corresponds to [pcode] exactly — a caller substituting a different
+          pcode (e.g. injecting a miscompile) must drop this field. *)
 }
 
 val profile_of : Program.t -> regs:(Reg.t * int) list -> mem:Memory.t ->
@@ -45,7 +50,7 @@ val compile :
     and the compiled code agree on block labels.
 
     [metrics] collects per-pass wall-clock timings
-    ([compile_pass_seconds{pass=cfg|unit_formation|schedule|check|emit}]),
+    ([compile_pass_seconds{pass=cfg|unit_formation|schedule|check|emit|verify|lower}]),
     the unit count, and a schedule-density histogram ([sched_density],
     operations per bundle).
 
@@ -61,6 +66,7 @@ val estimate_cycles : compiled -> Program.t -> block_trace:Label.t list -> int
 val run_vliw :
   ?regfile_mode:Psb_machine.Regfile.mode ->
   ?pred_kernel:Psb_machine.Pred_kernel.mode ->
+  ?exec_kernel:Psb_machine.Exec_kernel.mode ->
   ?on_event:(int -> Vliw_sim.event -> unit) ->
   ?events:Psb_obs.Events.t ->
   ?metrics:Psb_obs.Metrics.t ->
@@ -69,8 +75,9 @@ val run_vliw :
   mem:Memory.t ->
   Vliw_sim.result
 (** Execute the compiled predicated code on the machine simulator;
-    [pred_kernel], [on_event], [events] and [metrics] are passed through
-    to {!Vliw_sim.run}.
+    [pred_kernel], [exec_kernel], [on_event], [events] and [metrics] are
+    passed through to {!Vliw_sim.run}, along with the cached [lowered]
+    form (so a lowered-kernel run never re-lowers).
     @raise Invalid_argument if the model is not executable. *)
 
 val code_size : compiled -> int

@@ -1,0 +1,25 @@
+(** Which per-cycle execution kernel {!Vliw_sim} runs.
+
+    [Lowered] — the default — walks the flat structure-of-arrays form
+    produced by {!Lowered.compile}: per-bundle operand indices,
+    latencies, predicate masks and a dense opcode dispatch table,
+    compiled once per region before execution starts. The per-cycle
+    issue step is plain [int]-array reads instead of list traversal and
+    variant matching.
+
+    [Tree] is the reference path: every cycle re-walks the
+    {!Pcode.bundle} slot lists and pattern-matches the instruction
+    variants directly. It exists for differential testing and for the
+    [PSB_EXEC_KERNEL=tree] environment toggle (read once at startup
+    into {!default}), exactly mirroring the {!Pred_kernel} precedent;
+    both kernels must produce identical results, cycle counts and
+    event streams. *)
+
+type mode = Lowered | Tree
+
+val default : mode
+(** [Lowered], unless the environment sets [PSB_EXEC_KERNEL=tree]. *)
+
+val of_string : string -> mode option
+val to_string : mode -> string
+val pp : Format.formatter -> mode -> unit

@@ -69,9 +69,28 @@ val shadow_capacity : single_shadow:bool -> t -> int
     ([max_int]) for the infinite ablation. *)
 
 val latency : t -> Instr.op -> int
+(** Issue-to-writeback distance in cycles for one operation:
+    [load_latency] for loads, [int_latency] for everything else. This is
+    the single source of latency truth — the scheduler, the cycle
+    estimator, the machine simulator and the region-lowering pass
+    ([Lowered], which precomputes it per flat slot) all call it. *)
 
+(** The function-unit class an operation occupies for one cycle at
+    issue. [Branch_unit] serves region-exit slots; [Nop]s and condition
+    writes ([Setc]) occupy ALU slots like any other computation. *)
 type unit_class = Alu_unit | Branch_unit | Load_unit | Store_unit
 
 val unit_of_op : Instr.op -> unit_class
+(** Classify one operation. Total — every [Instr.op] maps to exactly one
+    class, so resource checks can fold over a bundle without a default
+    case. *)
+
 val units_available : t -> unit_class -> int
+(** How many units of a class the machine issues to per cycle
+    ([alu_units], [branch_units], [load_units], [store_units]); the
+    static budget [Pcode.check_resources] and the scheduler enforce per
+    bundle. *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line summary of the configuration (issue width, unit counts,
+    CCR size, latencies) for diagnostics and experiment headers. *)

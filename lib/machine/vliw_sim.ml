@@ -146,9 +146,23 @@ exception Fuel_exhausted
 exception Cycle_done
 (* Ends the current cycle early (recovery initiation). *)
 
+(* Which representation the issue phase walks (Exec_kernel.mode resolved
+   to runtime state). [Elow] carries the lowered program, the lowered
+   image of the current region (kept in lock-step with [st.region]) and
+   a reusable per-bundle decision scratch buffer sized to the widest
+   bundle, so the lowered decode allocates nothing per cycle. *)
+type low_state = {
+  lcode : Lowered.t;
+  mutable lr : Lowered.region;
+  dec : int array; (* 0 = squash, 1 = nonspec, 2 = spec *)
+}
+
+type exec_repr = Etree | Elow of low_state
+
 type state = {
   model : Machine_model.t;
   pred_kernel : Pred_kernel.mode;
+  exec : exec_repr;
   on_event : (int -> event -> unit) option;
   events : Psb_obs.Events.t option;
   sb_hist : Psb_obs.Metrics.histogram option;
@@ -448,6 +462,172 @@ let issue_spec st (pi : Pcode.pinstr) =
              shadow_srcs;
            })
 
+(* ----- lowered issue path -----
+
+   Mirrors [issue_nonspec]/[issue_spec] over the structure-of-arrays
+   region form: operand registers, shadow flags, latencies and compiled
+   predicates come from flat arrays resolved once by [Lowered.compile],
+   and the instruction-variant match is a dense dispatch on
+   [Lowered.kind]. Observable behaviour — state changes, events,
+   metrics, predicate-evaluation counts, machine errors — must stay
+   identical to the tree path; the differential suite and the fuzzer pin
+   this. *)
+
+let low_s1 st (lr : Lowered.region) i ~pred =
+  let r = lr.Lowered.op_s1_reg.(i) in
+  if r >= 0 then Regfile.read st.rf r ~shadow:lr.Lowered.op_s1_sh.(i) ~pred
+  else lr.Lowered.op_s1_imm.(i)
+
+let low_s2 st (lr : Lowered.region) i ~pred =
+  let r = lr.Lowered.op_s2_reg.(i) in
+  if r >= 0 then Regfile.read st.rf r ~shadow:lr.Lowered.op_s2_sh.(i) ~pred
+  else lr.Lowered.op_s2_imm.(i)
+
+(* [compute] over the lowered form (value-producing kinds only). *)
+let compute_low st (lr : Lowered.region) i ~pred =
+  match lr.Lowered.op_kind.(i) with
+  | Lowered.Kalu -> (
+      let a = low_s1 st lr i ~pred in
+      let b = low_s2 st lr i ~pred in
+      match Opcode.eval_alu lr.Lowered.op_alu.(i) a b with
+      | v -> Ok v
+      | exception Opcode.Arithmetic_fault m -> Error (Fault.Arith m, None))
+  | Lowered.Kmov -> Ok (low_s1 st lr i ~pred)
+  | Lowered.Kload -> (
+      let addr = low_s1 st lr i ~pred + lr.Lowered.op_aux.(i) in
+      match load_access st ~addr ~load_pred:pred with
+      | Ok v -> Ok v
+      | Error (f, fw) -> Error (f, Some (addr, fw)))
+  | Lowered.Kcmp ->
+      let a = low_s1 st lr i ~pred in
+      let b = low_s2 st lr i ~pred in
+      Ok (if Opcode.eval_cmp lr.Lowered.op_cmp.(i) a b then 1 else 0)
+  | Lowered.Knop | Lowered.Kout | Lowered.Ksetc | Lowered.Kstore ->
+      assert false (* handled by the callers *)
+
+let issue_nonspec_low st (lr : Lowered.region) i =
+  let latency = lr.Lowered.op_lat.(i) in
+  let pred = lr.Lowered.op_pred.(i) in
+  match lr.Lowered.op_kind.(i) with
+  | Lowered.Knop -> ()
+  | Lowered.Kout -> schedule st ~latency (Wout (low_s1 st lr i ~pred))
+  | Lowered.Ksetc ->
+      let a = low_s1 st lr i ~pred in
+      let b = low_s2 st lr i ~pred in
+      let v = Opcode.eval_cmp lr.Lowered.op_cmp.(i) a b in
+      schedule st ~latency (Wcond { dst = lr.Lowered.op_aux.(i); value = v })
+  | Lowered.Kstore ->
+      let addr = low_s1 st lr i ~pred + lr.Lowered.op_aux.(i) in
+      let value = low_s2 st lr i ~pred in
+      schedule st ~latency
+        (Wstore
+           {
+             addr;
+             value;
+             cpred = lr.Lowered.op_cpred.(i);
+             spec = false;
+             fault = None;
+           })
+  | Lowered.Kalu | Lowered.Kmov | Lowered.Kcmp | Lowered.Kload ->
+      let value =
+        match compute_low st lr i ~pred with
+        | Ok v -> v
+        | Error (f, Some (addr, forwarded)) -> (
+            handle_or_abort st f;
+            match forwarded with
+            | Some v -> v
+            | None -> load_nonspec st ~addr ~load_pred:pred)
+        | Error (f, None) ->
+            (* Arithmetic fault with a true predicate: fatal. *)
+            handle_or_abort st f;
+            assert false
+      in
+      schedule st ~latency
+        (Wreg
+           {
+             dst = lr.Lowered.op_dst.(i);
+             value;
+             cpred = lr.Lowered.op_cpred.(i);
+             fault = None;
+             decided_seq = true;
+             load_addr = None;
+             shadow_srcs = lr.Lowered.op_src.(i).Pcode.shadow_srcs;
+           })
+
+let issue_spec_low st (lr : Lowered.region) i =
+  st.spec_ops <- st.spec_ops + 1;
+  let latency = lr.Lowered.op_lat.(i) in
+  let pred = lr.Lowered.op_pred.(i) in
+  let cpred = lr.Lowered.op_cpred.(i) in
+  let future_value () =
+    match st.mode with
+    | Normal -> Pred.Unspec
+    | Recovery { future; _ } -> eval_cpred st future cpred
+  in
+  let resolve_fault f ~addr_info =
+    match future_value () with
+    | Pred.Unspec ->
+        eev st Psb_obs.Events.Fault_deferred
+          ~a:(match addr_info with Some (addr, _) -> addr | None -> -1)
+          ~b:0;
+        (0, Some f)
+    | Pred.False -> (0, None)
+    | Pred.True -> (
+        handle_or_abort st f;
+        match addr_info with
+        | None -> (0, None)
+        | Some (addr, forwarded) -> (
+            match forwarded with
+            | Some v -> (v, None)
+            | None -> (load_nonspec st ~addr ~load_pred:pred, None)))
+  in
+  match lr.Lowered.op_kind.(i) with
+  | Lowered.Knop -> ()
+  | Lowered.Kout ->
+      machine_error "side-effecting Out issued with an unspecified predicate"
+  | Lowered.Ksetc ->
+      machine_error "Setc issued with an unspecified predicate (must be alw)"
+  | Lowered.Kstore ->
+      let addr = low_s1 st lr i ~pred + lr.Lowered.op_aux.(i) in
+      let value = low_s2 st lr i ~pred in
+      let fault = Option.map (fun f -> Fault.Mem f) (Memory.probe st.mem addr) in
+      let fault =
+        match fault with
+        | None -> None
+        | Some f -> (
+            match future_value () with
+            | Pred.Unspec ->
+                eev st Psb_obs.Events.Fault_deferred ~a:addr ~b:0;
+                Some f
+            | Pred.False -> None
+            | Pred.True ->
+                handle_or_abort st f;
+                None)
+      in
+      schedule st ~latency (Wstore { addr; value; cpred; spec = true; fault })
+  | Lowered.Kalu | Lowered.Kmov | Lowered.Kcmp | Lowered.Kload ->
+      let value, fault, load_addr =
+        match compute_low st lr i ~pred with
+        | Ok v -> (v, None, None)
+        | Error (f, (Some (addr, _) as ai)) ->
+            let v, bf = resolve_fault f ~addr_info:ai in
+            (v, bf, Some addr)
+        | Error (f, None) ->
+            let v, bf = resolve_fault f ~addr_info:None in
+            (v, bf, None)
+      in
+      schedule st ~latency
+        (Wreg
+           {
+             dst = lr.Lowered.op_dst.(i);
+             value;
+             cpred;
+             fault;
+             decided_seq = false;
+             load_addr;
+             shadow_srcs = lr.Lowered.op_src.(i).Pcode.shadow_srcs;
+           })
+
 (* Apply one due writeback. Returns [`Conflict] when a speculative register
    write hits an occupied shadow entry (single-shadow model): the caller
    requeues it and stalls issue. *)
@@ -572,7 +752,11 @@ let start_recovery st ~future =
   st.mode <- Recovery { future; epc = st.pc };
   st.pc <- 0
 
-let take_exit st (target : Pcode.exit_target) =
+(* Region-transition work common to both execution kernels: events,
+   accounting, the writeback-drain interlock and the squash of leftover
+   speculative state. The caller then installs the next region (or
+   halts). *)
+let exit_prologue st (target : Pcode.exit_target) =
   emit st (Region_exit target);
   eev st Psb_obs.Events.Region_exit
     ~a:(region_id st st.region.Pcode.name)
@@ -595,102 +779,68 @@ let take_exit st (target : Pcode.exit_target) =
   Regfile.invalidate_spec st.rf;
   Store_buffer.invalidate_spec st.sb;
   Ccr.reset st.ccr;
-  st.dirty <- -1;
+  st.dirty <- -1
+
+let exit_stop st =
+  drain_store_buffer st;
+  (try Store_buffer.drain_all st.sb st.mem
+   with Memory.Fault f ->
+     handle_or_abort st (Fault.Mem f);
+     Store_buffer.drain_all st.sb st.mem);
+  raise Halted_exn
+
+let take_exit st (target : Pcode.exit_target) =
+  exit_prologue st target;
   match target with
-  | Pcode.Stop ->
-      drain_store_buffer st;
-      (try Store_buffer.drain_all st.sb st.mem
-       with Memory.Fault f ->
-         handle_or_abort st (Fault.Mem f);
-         Store_buffer.drain_all st.sb st.mem);
-      raise Halted_exn
+  | Pcode.Stop -> exit_stop st
   | Pcode.To_region l ->
       st.region <- Pcode.find_region st.code l;
       eev st Psb_obs.Events.Region_enter ~a:(region_id st l) ~b:0;
       st.pc <- 0
 
-let step st ~fuel =
-  if st.now > fuel then raise Fuel_exhausted;
-  sync_now st;
-  (* 0. Recovery completion: reaching the EPC ends recovery mode; the
-     future condition becomes the current condition (checked through the
-     detection path like any CCR update). *)
-  let pending_assign =
-    match st.mode with
-    | Recovery { future; epc } when st.pc = epc ->
-        st.mode <- Normal;
-        emit st Recovery_done;
-        Some future
-    | Recovery _ | Normal -> None
-  in
-  (match st.mode with
-  | Recovery _ -> st.recovery_cycles <- st.recovery_cycles + 1
-  | Normal -> ());
-  (* 1. Apply writebacks due this cycle. *)
-  let due, later = List.partition (fun p -> p.due <= st.now) st.pending in
-  st.pending <- later;
-  let due = List.sort (fun a b -> compare (a.due, a.order) (b.due, b.order)) due in
-  let cond_writes = ref [] in
-  let conflict = ref false in
-  List.iter
-    (fun p ->
-      match apply_wb st p.action ~cond_writes with
-      | `Ok -> ()
-      | `Conflict ->
-          conflict := true;
-          st.pending <- { p with due = st.now + 1 } :: st.pending)
-    due;
-  (* 2. CCR update with exception detection. *)
-  (match pending_assign with
-  | Some future ->
-      assert (!cond_writes = []);
-      if
-        Regfile.committing_exceptions st.rf (Ccr.lookup future) <> []
-        || Store_buffer.committing_exceptions st.sb (Ccr.lookup future) <> []
-      then machine_error "detection while leaving recovery";
-      Ccr.assign st.ccr ~from:future;
-      st.dirty <- -1
-  | None ->
-      let writes = !cond_writes in
-      if writes <> [] && detect st writes then begin
-        match st.mode with
-        | Recovery _ -> machine_error "exception detection during recovery"
-        | Normal ->
-            (* Suppress the CCR update; the new value goes to the future
-               CCR (§3.5). *)
-            let future = Ccr.copy st.ccr in
-            List.iter (fun (c, v) -> Ccr.set future c v) writes;
-            start_recovery st ~future;
-            st.kind <- Krecovery;
-            raise Cycle_done (* re-execution starts next cycle *)
-      end
-      else
-        List.iter
-          (fun (c, v) ->
-            Ccr.set st.ccr c v;
-            note_cond_write st c;
-            eev st
-              (if v then Psb_obs.Events.Pred_true else Psb_obs.Events.Pred_false)
-              ~a:(Cond.index c) ~b:0;
-            emit st (Cond_set (c, v)))
-          writes);
-  (* 3. Commit/squash the buffered speculative state. *)
-  List.iter
-    (fun (r, a) ->
-      emit st (match a with `Commit -> Reg_commit r | `Squash -> Reg_squash r))
-    (Regfile.tick ~mode:st.pred_kernel ~dirty:st.dirty st.rf st.ccr);
-  List.iter
-    (fun (a, act) ->
-      emit st
-        (match act with `Commit -> Store_commit a | `Squash -> Store_squash a))
-    (Store_buffer.tick ~mode:st.pred_kernel ~dirty:st.dirty st.sb st.ccr);
-  st.dirty <- 0;
-  (* Sample occupancy after commit/squash but before the drain — this is
-     the point where buffered state held across the cycle is visible. *)
-  note_sb_occupancy st;
-  (* 4. Store buffer drains to the D-cache. *)
-  drain_store_buffer st;
-  (* 5. Issue one bundle (unless stalled on a shadow-storage conflict). *)
+(* Lowered transition: the fired exit carries its target's region index,
+   so entering the next region is an array read. [st.region] follows so
+   diagnostics and events name the right region. *)
+let take_exit_low st ls ~tidx (target : Pcode.exit_target) =
+  exit_prologue st target;
+  if tidx < 0 then exit_stop st
+  else begin
+    ls.lr <- ls.lcode.Lowered.regions.(tidx);
+    st.region <- ls.lr.Lowered.source;
+    eev st Psb_obs.Events.Region_enter
+      ~a:(region_id st st.region.Pcode.name)
+      ~b:0;
+    st.pc <- 0
+  end
+
+(* ----- issue phase (stage 5 of the cycle) -----
+
+   One body per execution kernel; both share the stall logic. *)
+
+let stall_sb st =
+  (* structural hazard: a store cannot enter the full FIFO; bundles
+     without stores flow past (otherwise the condition-set instruction
+     that resolves the blocking speculative head could never issue) *)
+  st.sb_stall_cycles <- st.sb_stall_cycles + 1;
+  st.kind <- Ksb_stall;
+  emit st (Stall Store_buffer_full);
+  st.consecutive_stalls <- st.consecutive_stalls + 1;
+  if st.consecutive_stalls > 10_000 then
+    machine_error "store buffer never drains (speculative head stuck)"
+
+let stall_conflict st =
+  st.conflict_stall_cycles <- st.conflict_stall_cycles + 1;
+  st.kind <- Kshadow_stall;
+  emit st (Stall Shadow_conflict);
+  st.consecutive_stalls <- st.consecutive_stalls + 1;
+  (* A conflict that never resolves means the scheduler violated the
+     shadow-storage WAW commit dependence: the blocking predicate can
+     only specify through a Setc that the stall itself is blocking. *)
+  if st.consecutive_stalls > 10_000 then
+    machine_error
+      "shadow storage conflict deadlock (WAW commit dependence violated)"
+
+let issue_tree st ~conflict =
   let bundle_has_store () =
     st.pc < Array.length st.region.Pcode.code
     && List.exists
@@ -702,28 +852,8 @@ let step st ~fuel =
   if
     Store_buffer.length st.sb >= st.model.Machine_model.sb_capacity
     && bundle_has_store ()
-  then begin
-    (* structural hazard: a store cannot enter the full FIFO; bundles
-       without stores flow past (otherwise the condition-set instruction
-       that resolves the blocking speculative head could never issue) *)
-    st.sb_stall_cycles <- st.sb_stall_cycles + 1;
-    st.kind <- Ksb_stall;
-    emit st (Stall Store_buffer_full);
-    st.consecutive_stalls <- st.consecutive_stalls + 1;
-    if st.consecutive_stalls > 10_000 then
-      machine_error "store buffer never drains (speculative head stuck)"
-  end
-  else if !conflict then begin
-    st.conflict_stall_cycles <- st.conflict_stall_cycles + 1;
-    st.kind <- Kshadow_stall;
-    emit st (Stall Shadow_conflict);
-    st.consecutive_stalls <- st.consecutive_stalls + 1;
-    (* A conflict that never resolves means the scheduler violated the
-       shadow-storage WAW commit dependence: the blocking predicate can
-       only specify through a Setc that the stall itself is blocking. *)
-    if st.consecutive_stalls > 10_000 then
-      machine_error "shadow storage conflict deadlock (WAW commit dependence violated)"
-  end
+  then stall_sb st
+  else if conflict then stall_conflict st
   else begin
     st.consecutive_stalls <- 0;
     if st.pc >= Array.length st.region.Pcode.code then
@@ -813,26 +943,230 @@ let step st ~fuel =
     | None -> ()
   end
 
+(* The lowered issue phase: fetch (stall checks over precomputed
+   [has_store]), decode (one predicate evaluation per operation into the
+   scratch decision buffer — exactly one, like the tree path, so kernel
+   evaluation counters agree), issue (dense dispatch on [Lowered.kind]),
+   then the exit scan. *)
+let issue_low st ls ~conflict =
+  let lr = ls.lr in
+  if
+    Store_buffer.length st.sb >= st.model.Machine_model.sb_capacity
+    && st.pc < lr.Lowered.nbundles
+    && lr.Lowered.has_store.(st.pc)
+  then stall_sb st
+  else if conflict then stall_conflict st
+  else begin
+    st.consecutive_stalls <- 0;
+    if st.pc >= lr.Lowered.nbundles then
+      machine_error "ran off the end of region %s (exits not exhaustive)"
+        (Label.name st.region.Pcode.name);
+    st.dyn_bundles <- st.dyn_bundles + 1;
+    let in_recovery = match st.mode with Recovery _ -> true | Normal -> false in
+    let lo = lr.Lowered.op_bounds.(st.pc)
+    and hi = lr.Lowered.op_bounds.(st.pc + 1) in
+    let dec = ls.dec in
+    let nexec = ref 0 and nspec = ref 0 and nsq = ref 0 in
+    for i = lo to hi - 1 do
+      let d =
+        match eval_cpred st st.ccr lr.Lowered.op_cpred.(i) with
+        | Pred.False -> 0
+        | Pred.True -> if in_recovery then 0 else 1
+        | Pred.Unspec -> 2
+      in
+      dec.(i - lo) <- d;
+      if d = 0 then incr nsq
+      else begin
+        incr nexec;
+        if d = 2 then incr nspec
+      end
+    done;
+    if not in_recovery then eev st Psb_obs.Events.Issue ~a:!nexec ~b:!nsq;
+    if observing st then
+      emit st
+        (Bundle_issue
+           {
+             region = st.region.Pcode.name;
+             pc = st.pc;
+             ops = !nexec;
+             squashed = !nsq;
+             spec = !nspec;
+           });
+    (match st.bundle_hist with
+    | Some h -> Psb_obs.Metrics.observe h (float_of_int !nexec)
+    | None -> ());
+    for i = lo to hi - 1 do
+      match dec.(i - lo) with
+      | 0 -> st.squashed_ops <- st.squashed_ops + 1
+      | d ->
+          st.dyn_ops <- st.dyn_ops + 1;
+          let spec = d = 2 in
+          if observing st then
+            emit st
+              (Op_issue
+                 {
+                   op = lr.Lowered.op_src.(i).Pcode.op;
+                   pred = lr.Lowered.op_pred.(i);
+                   spec;
+                   latency = lr.Lowered.op_lat.(i);
+                 });
+          if spec then issue_spec_low st lr i else issue_nonspec_low st lr i
+    done;
+    let xlo = lr.Lowered.ex_bounds.(st.pc)
+    and xhi = lr.Lowered.ex_bounds.(st.pc + 1) in
+    let fired = ref (-1) in
+    let j = ref xlo in
+    while !fired < 0 && !j < xhi do
+      (match eval_cpred st st.ccr lr.Lowered.ex_cpred.(!j) with
+      | Pred.True ->
+          if in_recovery then machine_error "exit fired during recovery mode";
+          fired := !j
+      | Pred.False | Pred.Unspec -> ());
+      incr j
+    done;
+    st.kind <-
+      (if in_recovery then Krecovery
+       else if !nexec > 0 || !fired >= 0 then Kuseful
+       else Ksquashed);
+    st.pc <- st.pc + 1;
+    if !fired >= 0 then
+      take_exit_low st ls
+        ~tidx:lr.Lowered.ex_target.(!fired)
+        lr.Lowered.ex_tgt.(!fired)
+  end
+
+let step st ~fuel =
+  if st.now > fuel then raise Fuel_exhausted;
+  sync_now st;
+  (* 0. Recovery completion: reaching the EPC ends recovery mode; the
+     future condition becomes the current condition (checked through the
+     detection path like any CCR update). *)
+  let pending_assign =
+    match st.mode with
+    | Recovery { future; epc } when st.pc = epc ->
+        st.mode <- Normal;
+        emit st Recovery_done;
+        Some future
+    | Recovery _ | Normal -> None
+  in
+  (match st.mode with
+  | Recovery _ -> st.recovery_cycles <- st.recovery_cycles + 1
+  | Normal -> ());
+  (* 1. Apply writebacks due this cycle. *)
+  let due, later = List.partition (fun p -> p.due <= st.now) st.pending in
+  st.pending <- later;
+  let due = List.sort (fun a b -> compare (a.due, a.order) (b.due, b.order)) due in
+  let cond_writes = ref [] in
+  let conflict = ref false in
+  List.iter
+    (fun p ->
+      match apply_wb st p.action ~cond_writes with
+      | `Ok -> ()
+      | `Conflict ->
+          conflict := true;
+          st.pending <- { p with due = st.now + 1 } :: st.pending)
+    due;
+  (* 2. CCR update with exception detection. *)
+  (match pending_assign with
+  | Some future ->
+      assert (!cond_writes = []);
+      if
+        Regfile.committing_exceptions st.rf (Ccr.lookup future) <> []
+        || Store_buffer.committing_exceptions st.sb (Ccr.lookup future) <> []
+      then machine_error "detection while leaving recovery";
+      Ccr.assign st.ccr ~from:future;
+      st.dirty <- -1
+  | None ->
+      let writes = !cond_writes in
+      if writes <> [] && detect st writes then begin
+        match st.mode with
+        | Recovery _ -> machine_error "exception detection during recovery"
+        | Normal ->
+            (* Suppress the CCR update; the new value goes to the future
+               CCR (§3.5). *)
+            let future = Ccr.copy st.ccr in
+            List.iter (fun (c, v) -> Ccr.set future c v) writes;
+            start_recovery st ~future;
+            st.kind <- Krecovery;
+            raise Cycle_done (* re-execution starts next cycle *)
+      end
+      else
+        List.iter
+          (fun (c, v) ->
+            Ccr.set st.ccr c v;
+            note_cond_write st c;
+            eev st
+              (if v then Psb_obs.Events.Pred_true else Psb_obs.Events.Pred_false)
+              ~a:(Cond.index c) ~b:0;
+            emit st (Cond_set (c, v)))
+          writes);
+  (* 3. Commit/squash the buffered speculative state. *)
+  List.iter
+    (fun (r, a) ->
+      emit st (match a with `Commit -> Reg_commit r | `Squash -> Reg_squash r))
+    (Regfile.tick ~mode:st.pred_kernel ~dirty:st.dirty st.rf st.ccr);
+  List.iter
+    (fun (a, act) ->
+      emit st
+        (match act with `Commit -> Store_commit a | `Squash -> Store_squash a))
+    (Store_buffer.tick ~mode:st.pred_kernel ~dirty:st.dirty st.sb st.ccr);
+  st.dirty <- 0;
+  (* Sample occupancy after commit/squash but before the drain — this is
+     the point where buffered state held across the cycle is visible. *)
+  note_sb_occupancy st;
+  (* 4. Store buffer drains to the D-cache. *)
+  drain_store_buffer st;
+  (* 5. Issue one bundle (unless stalled on a shadow-storage conflict),
+     through whichever execution kernel this run selected. *)
+  match st.exec with
+  | Etree -> issue_tree st ~conflict:!conflict
+  | Elow ls -> issue_low st ls ~conflict:!conflict
+
 let default_fuel = 60_000_000
 
 let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
-    ?(pred_kernel = Pred_kernel.default) ?on_event ?events ?metrics ~model
-    ~regs ~mem (code : Pcode.t) =
+    ?(pred_kernel = Pred_kernel.default) ?(exec_kernel = Exec_kernel.default)
+    ?lowered ?on_event ?events ?metrics ~model ~regs ~mem (code : Pcode.t) =
+  let exec, region0 =
+    match exec_kernel with
+    | Exec_kernel.Tree -> (Etree, Pcode.find_region code code.Pcode.entry)
+    | Exec_kernel.Lowered ->
+        let low =
+          match lowered with
+          | Some (l : Lowered.t) ->
+              if l.Lowered.source != code then
+                invalid_arg
+                  "Vliw_sim.run: lowered form was compiled from a different \
+                   pcode";
+              if l.Lowered.machine <> model then
+                invalid_arg
+                  "Vliw_sim.run: lowered form was compiled for a different \
+                   machine model";
+              l
+          | None -> Lowered.compile ~machine:model code
+        in
+        let lr = low.Lowered.regions.(low.Lowered.entry) in
+        ( Elow { lcode = low; lr; dec = Array.make low.Lowered.max_bundle_ops 0 },
+          lr.Lowered.source )
+  in
   let nregs =
     let m =
-      List.fold_left
-        (fun acc r ->
-          Array.fold_left
-            (List.fold_left (fun acc slot ->
-                 match slot with
-                 | Pcode.Exit _ -> acc
-                 | Pcode.Op { op; _ } ->
-                     List.fold_left
-                       (fun acc r -> max acc (Reg.index r + 1))
-                       acc
-                       (Instr.defs op @ Instr.uses op)))
-            acc r.Pcode.code)
-        1 code.Pcode.regions
+      match exec with
+      | Elow ls -> ls.lcode.Lowered.nregs
+      | Etree ->
+          List.fold_left
+            (fun acc r ->
+              Array.fold_left
+                (List.fold_left (fun acc slot ->
+                     match slot with
+                     | Pcode.Exit _ -> acc
+                     | Pcode.Op { op; _ } ->
+                         List.fold_left
+                           (fun acc r -> max acc (Reg.index r + 1))
+                           acc
+                           (Instr.defs op @ Instr.uses op)))
+                acc r.Pcode.code)
+            1 code.Pcode.regions
     in
     List.fold_left (fun acc (r, _) -> max acc (Reg.index r + 1)) m regs
   in
@@ -854,6 +1188,7 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
     {
       model;
       pred_kernel;
+      exec;
       on_event;
       events;
       sb_hist;
@@ -864,7 +1199,7 @@ let run ?(fuel = default_fuel) ?(regfile_mode = Regfile.Single)
       sb = Store_buffer.create ?events ();
       ccr = Ccr.create ~width:model.Machine_model.ccr_size;
       mode = Normal;
-      region = Pcode.find_region code code.Pcode.entry;
+      region = region0;
       pc = 0;
       now = 0;
       pending = [];

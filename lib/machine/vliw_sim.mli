@@ -121,6 +121,8 @@ val run :
   ?fuel:int ->
   ?regfile_mode:Regfile.mode ->
   ?pred_kernel:Pred_kernel.mode ->
+  ?exec_kernel:Exec_kernel.mode ->
+  ?lowered:Lowered.t ->
   ?on_event:(int -> event -> unit) ->
   ?events:Psb_obs.Events.t ->
   ?metrics:Psb_obs.Metrics.t ->
@@ -151,6 +153,19 @@ val run :
     comparators with dirty-condition gating, [Map] re-evaluates the
     source condition maps. Both produce identical results and cycle
     counts; [Map] exists as the differential-testing reference.
+
+    [exec_kernel] selects the issue-phase representation (default
+    {!Exec_kernel.default}): [Lowered] walks the flat
+    structure-of-arrays form of {!Lowered}, [Tree] re-walks the
+    {!Pcode.bundle} slot lists every cycle. Both are cycle- and
+    event-identical; [Tree] is the differential-testing reference.
+    Under [Lowered], [lowered] supplies a pre-lowered form (e.g. from
+    the compile cache via [Psb_compiler.Driver]); when absent the code
+    is lowered on entry. The supplied form must have been built by
+    {!Lowered.compile} from this exact [Pcode.t] value and [model]
+    (@raise Invalid_argument otherwise) — callers that substitute a
+    different pcode, like the fuzzer's miscompile injection, must drop
+    the cached lowering. [lowered] is ignored under [Tree].
 
     [metrics] collects, under the [vliw_] prefix: a store-buffer
     occupancy histogram sampled every cycle ([vliw_sb_occupancy]), an

@@ -4,6 +4,7 @@ module Machine_model = Psb_machine.Machine_model
 module Vliw_sim = Psb_machine.Vliw_sim
 module Scalar_sim = Psb_machine.Scalar_sim
 module Pred_kernel = Psb_machine.Pred_kernel
+module Exec_kernel = Psb_machine.Exec_kernel
 module Verify = Psb_verify.Verify
 
 type failure = { stage : string; detail : string }
@@ -64,14 +65,14 @@ let check_scalar (g : Gen.t) (reference : Interp.result) ref_mem =
       if not (Memory.equal ref_mem mem) then
         fail "interp-vs-scalar" "final memory differs")
 
-let run_vliw ?pred_kernel (compiled : Driver.compiled) ~mem =
+let run_vliw ?pred_kernel ?exec_kernel (compiled : Driver.compiled) ~mem =
   match compiled.Driver.pcode with
   | None -> invalid_arg "Diff.run_vliw: model not executable"
   | Some pcode ->
       (* not [Driver.run_vliw]: injected miscompiles can loop forever, so
          the machine needs a much shorter leash than its 60M default *)
-      Vliw_sim.run ~fuel:vliw_fuel ?pred_kernel ~model:compiled.Driver.machine
-        ~regs:Gen.regs ~mem pcode
+      Vliw_sim.run ~fuel:vliw_fuel ?pred_kernel ?exec_kernel
+        ~model:compiled.Driver.machine ~regs:Gen.regs ~mem pcode
 
 (* stages 2-4, once per executable model *)
 let check_model ?inject (g : Gen.t) (scalar : Interp.result) scalar_mem profile
@@ -86,7 +87,13 @@ let check_model ?inject (g : Gen.t) (scalar : Interp.result) scalar_mem profile
   let compiled =
     match (inject, compiled.Driver.pcode) with
     | Some bug, Some pcode ->
-        { compiled with Driver.pcode = Some (Inject.apply bug pcode) }
+        (* the cached lowering describes the uninjected pcode; keeping it
+           would mask the very miscompile we just planted *)
+        {
+          compiled with
+          Driver.pcode = Some (Inject.apply bug pcode);
+          Driver.lowered = None;
+        }
     | _ -> compiled
   in
   (* verify-then-run: the static verifier must accept what we are about
@@ -148,7 +155,30 @@ let check_model ?inject (g : Gen.t) (scalar : Interp.result) scalar_mem profile
         fail (stage "mask-vs-map")
           "mask %d cycles / %a, map %d cycles / %a" vliw.Vliw_sim.cycles
           Interp.pp_outcome vliw.Vliw_sim.outcome map.Vliw_sim.cycles
-          Interp.pp_outcome map.Vliw_sim.outcome)
+          Interp.pp_outcome map.Vliw_sim.outcome);
+  (* execution-kernel identity: the lowered structure-of-arrays walk
+     (what ran above, being the default) and the tree-walking reference
+     must be cycle-exact *)
+  staged (stage "lowered-vs-tree") (fun () ->
+      let tree =
+        run_vliw ~exec_kernel:Exec_kernel.Tree compiled ~mem:(Gen.make_mem g)
+      in
+      let agree =
+        outcomes_match vliw.Vliw_sim.outcome tree.Vliw_sim.outcome
+        && vliw.Vliw_sim.output = tree.Vliw_sim.output
+        && vliw.Vliw_sim.cycles = tree.Vliw_sim.cycles
+        && vliw.Vliw_sim.stats.Vliw_sim.commits
+           = tree.Vliw_sim.stats.Vliw_sim.commits
+        && vliw.Vliw_sim.stats.Vliw_sim.squashes
+           = tree.Vliw_sim.stats.Vliw_sim.squashes
+        && vliw.Vliw_sim.stats.Vliw_sim.recoveries
+           = tree.Vliw_sim.stats.Vliw_sim.recoveries
+      in
+      if not agree then
+        fail (stage "lowered-vs-tree")
+          "lowered %d cycles / %a, tree %d cycles / %a" vliw.Vliw_sim.cycles
+          Interp.pp_outcome vliw.Vliw_sim.outcome tree.Vliw_sim.cycles
+          Interp.pp_outcome tree.Vliw_sim.outcome)
 
 (* stage 5: cache hit = cold compile, on the flagship model (the cache
    key covers model/machine/options, so one model suffices per program) *)

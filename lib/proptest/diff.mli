@@ -13,6 +13,9 @@
       traps; recovery episodes must not be lost);
     + the reference map predicate kernel against the bitmask kernel,
       cycle-exact (cycles, output, commits, squashes, recoveries);
+    + the tree-walking execution kernel against the lowered
+      structure-of-arrays kernel ({!Psb_machine.Lowered}), cycle-exact
+      on the same counters;
     + compile-cache hit against cold compile, structurally equal
       (flagship model only — the cache key covers the rest).
 
@@ -23,8 +26,8 @@
 type failure = {
   stage : string;
       (** [interp-vs-scalar], [compile], [verify], [vliw-vs-scalar],
-          [mask-vs-map], [cache], prefixed by the model name where
-          model-specific *)
+          [mask-vs-map], [lowered-vs-tree], [cache], prefixed by the
+          model name where model-specific *)
   detail : string;
 }
 

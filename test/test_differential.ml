@@ -297,6 +297,70 @@ let test_pred_kernel_suite_identity () =
         executable_models)
     Suite.all
 
+(* ----- execution-kernel identity -----
+
+   The lowered structure-of-arrays kernel and the tree-walking reference
+   must be indistinguishable: lowering preresolves operands and compiles
+   dispatch, but may never change what issues, commits or squashes in
+   any cycle. *)
+
+let run_both_exec_kernels compiled ~regs ~mem_of =
+  let module K = Psb_machine.Exec_kernel in
+  let run kernel =
+    Driver.run_vliw ~exec_kernel:kernel compiled ~regs ~mem:(mem_of ())
+  in
+  (run K.Lowered, run K.Tree)
+
+let exec_kernel_identity =
+  QCheck.Test.make ~name:"lowered kernel = tree kernel (cycle-exact)"
+    ~count:120 arb_program (fun g ->
+      let scalar = Interp.run ~fuel:500_000 ~regs ~mem:(make_mem g) g.program in
+      QCheck.assume (scalar.Interp.outcome <> Interp.Out_of_fuel);
+      let _, profile = Driver.profile_of g.program ~regs ~mem:(make_mem g) in
+      let compiled =
+        Driver.compile ~model:Model.region_pred ~machine:Machine_model.base
+          ~profile g.program
+      in
+      let low, tree =
+        run_both_exec_kernels compiled ~regs ~mem_of:(fun () -> make_mem g)
+      in
+      if not (kernels_agree low tree) then
+        QCheck.Test.fail_reportf
+          "kernels diverged: lowered %d cycles / %a, tree %d cycles / %a"
+          low.Vliw_sim.cycles Interp.pp_outcome low.Vliw_sim.outcome
+          tree.Vliw_sim.cycles Interp.pp_outcome tree.Vliw_sim.outcome;
+      true)
+
+let test_exec_kernel_suite_identity () =
+  let open Psb_workloads in
+  List.iter
+    (fun (w : Dsl.t) ->
+      let _, profile =
+        Driver.profile_of w.Dsl.program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+      in
+      List.iter
+        (fun model ->
+          let compiled =
+            Driver.compile ~model ~machine:Machine_model.base ~profile
+              w.Dsl.program
+          in
+          let low, tree =
+            run_both_exec_kernels compiled ~regs:w.Dsl.regs
+              ~mem_of:w.Dsl.make_mem
+          in
+          Alcotest.(check int)
+            (w.Dsl.name ^ "/" ^ model.Model.name ^ " cycles")
+            tree.Vliw_sim.cycles low.Vliw_sim.cycles;
+          Alcotest.(check (list int))
+            (w.Dsl.name ^ "/" ^ model.Model.name ^ " output")
+            tree.Vliw_sim.output low.Vliw_sim.output;
+          Alcotest.(check int)
+            (w.Dsl.name ^ "/" ^ model.Model.name ^ " commits")
+            tree.Vliw_sim.stats.Vliw_sim.commits
+            low.Vliw_sim.stats.Vliw_sim.commits)
+        executable_models)
+    Suite.all
+
 let asm_roundtrip =
   QCheck.Test.make ~name:"asm print/parse round-trips" ~count:200
     Gen_programs.arb_program (fun g ->
@@ -318,12 +382,18 @@ let () =
             estimate_never_crashes;
             infinite_shadow_agrees;
             pred_kernel_identity;
+            exec_kernel_identity;
             asm_roundtrip;
           ] );
       ( "pred-kernel",
         [
           Alcotest.test_case "whole suite cycle-exact (all models)" `Quick
             test_pred_kernel_suite_identity;
+        ] );
+      ( "exec-kernel",
+        [
+          Alcotest.test_case "whole suite cycle-exact (all models)" `Quick
+            test_exec_kernel_suite_identity;
         ] );
       ( "parallel",
         [

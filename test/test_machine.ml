@@ -1103,6 +1103,161 @@ let test_vliw_dirty_gating_same_cycle_conds () =
   check_int "identical squashes" map.Vliw_sim.stats.Vliw_sim.squashes
     mask.Vliw_sim.stats.Vliw_sim.squashes
 
+(* ---------- Region lowering (Exec_kernel) ---------- *)
+
+(* Cycle-exactness of the lowered structure-of-arrays kernel against the
+   tree reference on hand-written edge cases; the broad random coverage
+   lives in the differential suite and the fuzzer. *)
+
+let run_both_exec ?(machine = model) pcode =
+  let run kernel =
+    let mem = Memory.create ~size:256 in
+    (Vliw_sim.run ~model:machine ~exec_kernel:kernel ~regs:[] ~mem pcode, mem)
+  in
+  (run Exec_kernel.Lowered, run Exec_kernel.Tree)
+
+let check_exec_identical name ((low, lmem), (tree, tmem)) =
+  check_int (name ^ ": cycles") tree.Vliw_sim.cycles low.Vliw_sim.cycles;
+  Alcotest.(check (list int))
+    (name ^ ": output") tree.Vliw_sim.output low.Vliw_sim.output;
+  check_int (name ^ ": commits") tree.Vliw_sim.stats.Vliw_sim.commits
+    low.Vliw_sim.stats.Vliw_sim.commits;
+  check_int (name ^ ": squashes") tree.Vliw_sim.stats.Vliw_sim.squashes
+    low.Vliw_sim.stats.Vliw_sim.squashes;
+  check_int (name ^ ": sb stalls") tree.Vliw_sim.stats.Vliw_sim.sb_stall_cycles
+    low.Vliw_sim.stats.Vliw_sim.sb_stall_cycles;
+  check_int (name ^ ": conflict stalls")
+    tree.Vliw_sim.stats.Vliw_sim.conflict_stall_cycles
+    low.Vliw_sim.stats.Vliw_sim.conflict_stall_cycles;
+  check_bool (name ^ ": memory") true (Memory.equal tmem lmem)
+
+let test_lowered_shape () =
+  let pcode = Pcode.make ~entry:(lbl "main") [ diamond_region ~c0_true:true ] in
+  let low = Lowered.compile ~machine:model pcode in
+  check_int "one region" 1 (Array.length low.Lowered.regions);
+  check_int "entry index" 0 low.Lowered.entry;
+  let lr = low.Lowered.regions.(0) in
+  check_int "bundle count" 5 lr.Lowered.nbundles;
+  (* every pcode slot lands in exactly one flat slot *)
+  check_int "ops + exits = slots" (Pcode.num_slots pcode)
+    (Lowered.num_ops low + Lowered.num_exits low);
+  check_int "exit count" 1 (Lowered.num_exits low);
+  (* the CSR bounds are monotone and cover all ops *)
+  Array.iteri
+    (fun i b ->
+      if i > 0 then
+        check_bool "op_bounds monotone" true (b >= lr.Lowered.op_bounds.(i - 1)))
+    lr.Lowered.op_bounds;
+  check_int "op_bounds closed" (Lowered.num_ops low)
+    lr.Lowered.op_bounds.(lr.Lowered.nbundles);
+  check_int "widest bundle" 2 low.Lowered.max_bundle_ops
+
+let test_lowered_exit_only_region () =
+  (* a region that is nothing but its exit bundle, reached through a
+     region transition (exercises exit-target index resolution) *)
+  let pcode =
+    Pcode.make ~entry:(lbl "main")
+      [
+        region "main"
+          [ [ mov 1 (imm 3) ]; [ out (r 1) ];
+            [ Pcode.exit_to Pred.always (lbl "tail") ] ];
+        region "tail" [ [ Pcode.exit_stop Pred.always ] ];
+      ]
+  in
+  let low = Lowered.compile ~machine:model pcode in
+  let tail = low.Lowered.regions.(1) in
+  check_int "no ops" 0 tail.Lowered.op_bounds.(tail.Lowered.nbundles);
+  check_int "one exit" 1 tail.Lowered.ex_bounds.(tail.Lowered.nbundles);
+  check_exec_identical "exit-only" (run_both_exec pcode)
+
+let test_lowered_single_op_region () =
+  let pcode =
+    Pcode.make ~entry:(lbl "main")
+      [ region "main" [ [ out (imm 42) ]; [ Pcode.exit_stop Pred.always ] ] ]
+  in
+  let low = Lowered.compile ~machine:model pcode in
+  check_int "one op" 1 (Lowered.num_ops low);
+  check_exec_identical "single-op" (run_both_exec pcode)
+
+let test_lowered_sb_capacity_identity () =
+  (* store burst against a tiny store buffer: the lowered kernel's
+     stall decision must fire on exactly the same cycles *)
+  let burst =
+    Pcode.make ~entry:(lbl "main")
+      [
+        region "main"
+          [
+            [ mov 1 (imm 7) ];
+            [ store 1 0 20; store 1 0 21 ];
+            [ store 1 0 22; store 1 0 23 ];
+            [ store 1 0 24 ];
+            [ out (imm 1) ];
+            [ Pcode.exit_stop Pred.always ];
+          ];
+      ]
+  in
+  let tiny =
+    {
+      model with
+      Machine_model.sb_capacity = 2;
+      Machine_model.store_units = 2;
+      Machine_model.dcache_ports = 1;
+    }
+  in
+  let ((low, _), _) as both = run_both_exec ~machine:tiny burst in
+  check_exec_identical "sb-capacity" both;
+  check_bool "stall path actually exercised" true
+    (low.Vliw_sim.stats.Vliw_sim.sb_stall_cycles > 0)
+
+let test_lowered_shadow_conflict_identity () =
+  let pcode =
+    Pcode.make ~entry:(lbl "main")
+      [
+        region "main"
+          [
+            [ mov 1 (imm 5) ];
+            [
+              setc 0 Opcode.Lt (r 1) (imm 10);
+              mov ~pred:(p_true (cond 0)) 2 (imm 111);
+              mov ~pred:(Pred.of_list [ (cond 0, false) ]) 2 (imm 222);
+            ];
+            [ Pcode.op Pred.always Instr.Nop ];
+            [ out (r 2) ];
+            [ Pcode.exit_stop Pred.always ];
+          ];
+      ]
+  in
+  let ((low, _), _) as both = run_both_exec pcode in
+  check_exec_identical "shadow-conflict" both;
+  check_bool "conflict path actually exercised" true
+    (low.Vliw_sim.stats.Vliw_sim.shadow_conflicts >= 1)
+
+let test_lowered_stale_form_rejected () =
+  (* the machine must reject a cached lowering that was not built from
+     the exact pcode value (the fuzzer's injection hazard) *)
+  let make () =
+    Pcode.make ~entry:(lbl "main")
+      [ region "main" [ [ out (imm 1) ]; [ Pcode.exit_stop Pred.always ] ] ]
+  in
+  let pcode = make () in
+  let other = make () in
+  let low = Lowered.compile ~machine:model other in
+  (match
+     Vliw_sim.run ~model ~exec_kernel:Exec_kernel.Lowered ~lowered:low ~regs:[]
+       ~mem:(Memory.create ~size:64) pcode
+   with
+  | _ -> Alcotest.fail "stale lowered form accepted"
+  | exception Invalid_argument _ -> ());
+  (* and one built against a different machine model *)
+  let wide = { model with Machine_model.issue_width = model.Machine_model.issue_width + 1 } in
+  let low_wide = Lowered.compile ~machine:wide pcode in
+  match
+    Vliw_sim.run ~model ~exec_kernel:Exec_kernel.Lowered ~lowered:low_wide
+      ~regs:[] ~mem:(Memory.create ~size:64) pcode
+  with
+  | _ -> Alcotest.fail "mismatched-machine lowered form accepted"
+  | exception Invalid_argument _ -> ()
+
 (* ---------- Hardware cost ---------- *)
 
 let test_hwcost () =
@@ -1200,6 +1355,20 @@ let () =
             test_sb_dirty_gating_fresh_entry;
           Alcotest.test_case "same-cycle condition writes" `Quick
             test_vliw_dirty_gating_same_cycle_conds;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "flat shape" `Quick test_lowered_shape;
+          Alcotest.test_case "exit-only region" `Quick
+            test_lowered_exit_only_region;
+          Alcotest.test_case "single-op region" `Quick
+            test_lowered_single_op_region;
+          Alcotest.test_case "sb-capacity identity" `Quick
+            test_lowered_sb_capacity_identity;
+          Alcotest.test_case "shadow-conflict identity" `Quick
+            test_lowered_shadow_conflict_identity;
+          Alcotest.test_case "stale form rejected" `Quick
+            test_lowered_stale_form_rejected;
         ] );
       ("hwcost", [ Alcotest.test_case "paper numbers" `Quick test_hwcost ]);
     ]
