@@ -106,6 +106,9 @@ let experiments : (string * string * (Format.formatter -> unit)) list =
     ( "hwcost",
       "hardware cost model (4.2.1)",
       fun ppf -> Hwcost.pp_report ppf (Hwcost.analyze Hwcost.default) );
+    ( "rob",
+      "rival out-of-order (reorder-buffer) backend vs scalar",
+      fun ppf -> Experiments.pp_rob ppf (Experiments.rob_rival (Lazy.force h)) );
   ]
 
 let usage_error name =
@@ -318,11 +321,49 @@ module Lowered_bench = struct
       ]
 end
 
+(* ----- rival-backend microbenches -----
+
+   Whole-workload simulation cost of the three backends on the same
+   program: the scalar reference interpreter, the out-of-order
+   reorder-buffer backend, and the predicating VLIW machine (lowered
+   kernel, sharing [Lowered_bench]'s cached compile). The ROB row prices
+   the per-cycle dispatch/issue/complete/commit walk — the simulator's
+   hot loop — so regressions in the rival model's throughput gate like
+   any other kernel. *)
+module Rob_bench = struct
+  module Rob_sim = Psb_machine.Rob_sim
+  module Machine_model = Psb_machine.Machine_model
+  module Interp = Psb_isa.Interp
+  module Suite = Psb_workloads.Suite
+  module Dsl = Psb_workloads.Dsl
+
+  let w = lazy (Suite.find "compress")
+
+  let tests () =
+    let open Bechamel in
+    let t name f = Test.make ~name (Staged.stage f) in
+    Test.make_grouped ~name:"rob"
+      [
+        t "sim/rob" (fun () ->
+            let w = Lazy.force w in
+            ignore
+              (Rob_sim.run ~model:Machine_model.base ~regs:w.Dsl.regs
+                 ~mem:(w.Dsl.make_mem ()) w.Dsl.program));
+        t "sim/scalar" (fun () ->
+            let w = Lazy.force w in
+            ignore
+              (Interp.run ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+                 w.Dsl.program));
+        t "sim/vliw" (Lowered_bench.run Psb_machine.Exec_kernel.Lowered);
+      ]
+end
+
 (* Bechamel timings. Groups: [experiments] times the full regeneration of
    each table/figure against a null formatter; [pred_kernel] times the
    per-cycle predicate-evaluation kernels; [events] times the structured
    event log against the machine hot paths; [lowered] times whole-workload
-   simulation under the lowered vs tree execution kernels. *)
+   simulation under the lowered vs tree execution kernels; [rob] times the
+   rival reorder-buffer backend against the scalar and VLIW simulators. *)
 let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
   [
     ( "experiments",
@@ -337,6 +378,7 @@ let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
     ("pred_kernel", Pred_bench.tests);
     ("events", Events_bench.tests);
     ("lowered", Lowered_bench.tests);
+    ("rob", Rob_bench.tests);
   ]
 
 let bench_usage_error name =

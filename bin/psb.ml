@@ -5,6 +5,7 @@
      run WORKLOAD           scalar reference run (cycles, output, profile)
      compile WORKLOAD       compile and dump units/schedules/predicated code
      sim WORKLOAD           compile and execute on the VLIW machine
+     rob [WORKLOAD]         run on the out-of-order ROB backend, check vs scalar
      trace WORKLOAD         emit a run as Chrome trace-event JSON
      timeline WORKLOAD      human-readable machine event log
      profile WORKLOAD       cycle-accounting breakdown, hot blocks, metrics
@@ -49,15 +50,9 @@ let workload_arg =
 let mconv =
   Arg.conv ~docv:"MODEL"
     ( (fun s ->
-        (* accept region_pred as a spelling of region-pred, etc. *)
-        let s = String.map (function '_' -> '-' | c -> c) s in
-        match
-          List.find_opt
-            (fun (m : Model.t) -> m.Model.name = s)
-            (Model.trace_pred_counter :: Model.all)
-        with
-        | Some m -> Ok m
-        | None -> Error (`Msg ("unknown model " ^ s))),
+        match Model.find s with
+        | Ok m -> Ok m
+        | Error msg -> Error (`Msg (msg ^ " — see `psb list`"))),
       Model.pp )
 
 let model_arg =
@@ -189,6 +184,112 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Execute a workload on the predicating VLIW machine")
     Term.(const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg)
 
+(* ----- rob: the rival out-of-order backend ----- *)
+
+let rob_cmd =
+  let module Rob_sim = Psb_machine.Rob_sim in
+  let run w_opt issue json =
+    let machine = machine_of_issue issue in
+    let check (w : Dsl.t) =
+      let scalar_mem = w.Dsl.make_mem () in
+      let scalar =
+        Interp.run ~regs:w.Dsl.regs ~mem:scalar_mem w.Dsl.program
+      in
+      let rob_mem = w.Dsl.make_mem () in
+      let res =
+        Rob_sim.run ~model:machine ~regs:w.Dsl.regs ~mem:rob_mem w.Dsl.program
+      in
+      let ok =
+        scalar.Interp.outcome = res.Rob_sim.outcome
+        && scalar.Interp.output = res.Rob_sim.output
+        && Reg.Map.equal Int.equal scalar.Interp.regs res.Rob_sim.regs
+        && scalar.Interp.faults_handled = res.Rob_sim.faults_handled
+        && Memory.equal scalar_mem rob_mem
+        && Rob_sim.breakdown_total res.Rob_sim.breakdown = res.Rob_sim.cycles
+      in
+      (w, scalar, res, ok)
+    in
+    let ws = match w_opt with Some w -> [ w ] | None -> Suite.all in
+    let rows = List.map check ws in
+    if json then begin
+      let open Psb_obs.Json in
+      let doc =
+        List
+          (List.map
+             (fun ((w : Dsl.t), (scalar : Interp.result), (r : Rob_sim.result), ok) ->
+               obj
+                 [
+                   ("workload", String w.Dsl.name);
+                   ("scalar_cycles", Int scalar.Interp.cycles);
+                   ("rob_cycles", Int r.Rob_sim.cycles);
+                   ( "speedup",
+                     Float
+                       (float_of_int scalar.Interp.cycles
+                       /. float_of_int (max 1 r.Rob_sim.cycles)) );
+                   ("committed", Int r.Rob_sim.stats.Rob_sim.committed);
+                   ("squashed", Int r.Rob_sim.stats.Rob_sim.squashed);
+                   ("mispredicts", Int r.Rob_sim.stats.Rob_sim.mispredicts);
+                   ( "cycle_breakdown",
+                     Obj
+                       (List.map
+                          (fun (k, v) -> (k, Int v))
+                          (Rob_sim.breakdown_fields r.Rob_sim.breakdown)) );
+                   ("architecturally_identical", Bool ok);
+                 ])
+             rows)
+      in
+      print_endline (to_string doc)
+    end
+    else begin
+      Format.printf "%-10s %10s %10s %8s %6s %11s %8s  %s@." "workload"
+        "scalar" "rob" "speedup" "ipc" "mispredicts" "squashed" "identical";
+      List.iter
+        (fun ((w : Dsl.t), (scalar : Interp.result), (r : Rob_sim.result), ok) ->
+          Format.printf "%-10s %10d %10d %7.2fx %6.2f %11d %8d  %s@."
+            w.Dsl.name scalar.Interp.cycles r.Rob_sim.cycles
+            (float_of_int scalar.Interp.cycles
+            /. float_of_int (max 1 r.Rob_sim.cycles))
+            (float_of_int r.Rob_sim.dyn_instrs
+            /. float_of_int (max 1 r.Rob_sim.cycles))
+            r.Rob_sim.stats.Rob_sim.mispredicts
+            r.Rob_sim.stats.Rob_sim.squashed
+            (if ok then "yes" else "NO"))
+        rows
+    end;
+    if List.exists (fun (_, _, _, ok) -> not ok) rows then begin
+      Format.eprintf
+        "ERROR: ROB backend diverged from the scalar reference@.";
+      exit 1
+    end
+  in
+  let workload_opt =
+    Arg.(value & pos 0 (some wconv) None & info [] ~docv:"WORKLOAD")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON document instead of text.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs $(i,WORKLOAD) (default: the whole suite) on the rival \
+         out-of-order reorder-buffer backend and checks its architectural \
+         results — outcome, output, final registers, final memory, \
+         handled faults — are byte-identical to the scalar reference \
+         interpreter. Exits non-zero on any divergence, so it doubles as \
+         a CI lane.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "rob" ~man
+       ~doc:
+         "Execute workloads on the out-of-order ROB backend and check them \
+          against the scalar reference")
+    Term.(const run $ workload_opt $ issue_arg $ json)
+
 (* ----- timeline: human-readable machine event log ----- *)
 
 let timeline_cmd =
@@ -312,9 +413,46 @@ let trace_cmd =
 (* ----- speculate: per-region speculation scorecards ----- *)
 
 let speculate_cmd =
-  let run (w : Dsl.t) model issue opt json capacity =
+  let run (w : Dsl.t) model issue opt json capacity rob =
     let machine = machine_of_issue issue in
     let program = preoptimize opt w.Dsl.program in
+    if rob then begin
+      let events = Psb_obs.Events.create ~capacity () in
+      let res =
+        Psb_machine.Rob_sim.run ~events ~model:machine ~regs:w.Dsl.regs
+          ~mem:(w.Dsl.make_mem ()) program
+      in
+      let prof =
+        Psb_obs.Spec_profile.of_events ~total_cycles:res.Psb_machine.Rob_sim.cycles
+          events
+      in
+      if json then begin
+        let open Psb_obs.Json in
+        let doc =
+          obj
+            [
+              ("workload", String w.Dsl.name);
+              ("model", String "rob");
+              ("cycles", Int res.Psb_machine.Rob_sim.cycles);
+              ( "cycle_breakdown",
+                Obj
+                  (List.map
+                     (fun (k, v) -> (k, Int v))
+                     (Psb_machine.Rob_sim.breakdown_fields
+                        res.Psb_machine.Rob_sim.breakdown)) );
+              ("speculation", Psb_obs.Spec_profile.to_json prof);
+            ]
+        in
+        print_endline (to_string doc)
+      end
+      else begin
+        Format.printf "workload: %s  (out-of-order ROB backend), %a in %d cycles@.@."
+          w.Dsl.name Interp.pp_outcome res.Psb_machine.Rob_sim.outcome
+          res.Psb_machine.Rob_sim.cycles;
+        Format.printf "%a@." Psb_obs.Spec_profile.pp prof
+      end;
+      exit 0
+    end;
     let _, profile =
       Driver.profile_of program ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
     in
@@ -375,6 +513,15 @@ let speculate_cmd =
              reconcile with the machine's cycle accounting when no events \
              are dropped.")
   in
+  let rob =
+    Arg.(
+      value & flag
+      & info [ "rob" ]
+          ~doc:
+            "Profile the rival out-of-order reorder-buffer backend instead \
+             of the predicating VLIW machine (the scorecards then count \
+             reorder-buffer commits and squashes).")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -397,12 +544,12 @@ let speculate_cmd =
        ~doc:"Per-region speculation scorecards (squash rates, lifetimes)")
     Term.(
       const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ json
-      $ capacity)
+      $ capacity $ rob)
 
 (* ----- profile: where did the cycles go ----- *)
 
 let profile_cmd =
-  let run (w : Dsl.t) model issue opt json =
+  let run (w : Dsl.t) model issue opt json rob =
     let machine = machine_of_issue issue in
     let program = preoptimize opt w.Dsl.program in
     let metrics = Psb_obs.Metrics.create () in
@@ -410,6 +557,63 @@ let profile_cmd =
       Psb_machine.Scalar_sim.run ~metrics ~record_trace:true ~regs:w.Dsl.regs
         ~mem:(w.Dsl.make_mem ()) program
     in
+    if rob then begin
+      let module Rob_sim = Psb_machine.Rob_sim in
+      let res =
+        Rob_sim.run ~metrics ~model:machine ~regs:w.Dsl.regs
+          ~mem:(w.Dsl.make_mem ()) program
+      in
+      let trace = Trace.of_result program scalar in
+      let hot = Trace.hot_blocks ~limit:10 trace in
+      if json then begin
+        let open Psb_obs.Json in
+        let doc =
+          obj
+            [
+              ("workload", String w.Dsl.name);
+              ("model", String "rob");
+              ("scalar_cycles", Int scalar.Interp.cycles);
+              ("rob_cycles", Int res.Rob_sim.cycles);
+              ( "cycle_breakdown",
+                Obj
+                  (List.map
+                     (fun (k, v) -> (k, Int v))
+                     (Rob_sim.breakdown_fields res.Rob_sim.breakdown)) );
+              ( "hot_blocks",
+                List
+                  (List.map
+                     (fun (l, n) ->
+                       Obj
+                         [ ("label", String (Label.name l)); ("count", Int n) ])
+                     hot) );
+              ("metrics", Psb_obs.Metrics.to_json metrics);
+            ]
+        in
+        print_endline (to_string doc)
+      end
+      else begin
+        let s = res.Rob_sim.stats in
+        Format.printf "workload:      %s  (out-of-order ROB backend)@."
+          w.Dsl.name;
+        Format.printf "scalar:        %d cycles@." scalar.Interp.cycles;
+        Format.printf "rob:           %d cycles (%.2fx)@.@." res.Rob_sim.cycles
+          (float_of_int scalar.Interp.cycles
+          /. float_of_int (max 1 res.Rob_sim.cycles));
+        Format.printf "%a@.@." Rob_sim.pp_breakdown res.Rob_sim.breakdown;
+        Format.printf
+          "frontend:      %d fetched, %d committed, %d squashed@."
+          s.Rob_sim.fetched s.Rob_sim.committed s.Rob_sim.squashed;
+        Format.printf "branches:      %d, %d mispredicted@." s.Rob_sim.branches
+          s.Rob_sim.mispredicts;
+        Format.printf
+          "memory:        %d loads forwarded, %d fault restarts@."
+          s.Rob_sim.loads_forwarded s.Rob_sim.fault_restarts;
+        Format.printf "buffer:        max occupancy %d, %d full stalls@."
+          s.Rob_sim.rob_max_occupancy s.Rob_sim.rob_full_stalls;
+        Format.printf "@.metrics:@.%a@." Psb_obs.Metrics.pp metrics
+      end;
+      exit 0
+    end;
     let trace = Trace.of_result program scalar in
     let profile =
       Psb_cfg.Branch_predict.of_trace (Psb_cfg.Cfg.of_program program) trace
@@ -517,13 +721,27 @@ let profile_cmd =
          hottest basic blocks of the scalar profile; and the collected \
          metrics — compiler pass timings, schedule densities, dynamic \
          operation classes and store-buffer occupancy histograms.";
+      `P
+        "With $(b,--rob) the workload instead runs on the rival \
+         out-of-order reorder-buffer backend, with its own accounting \
+         categories (fault restarts, commit, redirect flushes, memory \
+         waits, frontend refills, execute waits).";
     ]
+  in
+  let rob =
+    Arg.(
+      value & flag
+      & info [ "rob" ]
+          ~doc:
+            "Profile the out-of-order reorder-buffer backend instead of \
+             compiling for the VLIW machine.")
   in
   Cmd.v
     (Cmd.info "profile" ~man
        ~doc:"Cycle-accounting breakdown, hot blocks and metrics for a workload")
     Term.(
-      const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ json)
+      const run $ workload_arg $ model_arg $ issue_arg $ optimize_arg $ json
+      $ rob)
 
 (* ----- speedup ----- *)
 
@@ -1096,7 +1314,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; compile_cmd; sim_cmd; speedup_cmd; trace_cmd;
-            timeline_cmd; profile_cmd; speculate_cmd; verify_cmd; exec_cmd;
-            pexec_cmd; experiments_cmd; fuzz_cmd;
+            list_cmd; run_cmd; compile_cmd; sim_cmd; rob_cmd; speedup_cmd;
+            trace_cmd; timeline_cmd; profile_cmd; speculate_cmd; verify_cmd;
+            exec_cmd; pexec_cmd; experiments_cmd; fuzz_cmd;
           ]))

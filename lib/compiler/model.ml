@@ -105,6 +105,17 @@ let all =
 let restricted = [ global; squashing; trace_sched; region_sched ]
 let predicating = [ global; boosting; trace_pred; region_pred ]
 
+let find s =
+  (* accept underscores for hyphens, as the CLI always has *)
+  let s = String.map (function '_' -> '-' | c -> c) s in
+  let candidates = trace_pred_counter :: all in
+  match List.find_opt (fun m -> m.name = s) candidates with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown model %s (expected one of: %s)" s
+           (String.concat ", " (List.map (fun m -> m.name) candidates)))
+
 let spec_class_of t (op : Instr.op) =
   if Instr.is_store op then t.store_spec
   else if Instr.has_side_effect op then No_spec (* Out is never speculated *)

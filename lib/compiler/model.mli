@@ -82,6 +82,12 @@ val all : t list
 val restricted : t list
 (** The four Fig. 6 models. *)
 
+val find : string -> (t, string) result
+(** Look a model up by name ({!all} plus {!trace_pred_counter});
+    underscores normalise to hyphens, so [region_pred] finds
+    [region-pred]. The error message lists every valid name — CLI
+    front-ends surface it verbatim. *)
+
 val predicating : t list
 (** The four Fig. 7 models. *)
 

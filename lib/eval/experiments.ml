@@ -3,6 +3,7 @@ open Psb_compiler
 open Psb_workloads
 module Machine_model = Psb_machine.Machine_model
 module Vliw_sim = Psb_machine.Vliw_sim
+module Rob_sim = Psb_machine.Rob_sim
 
 (* Sharding helpers: experiments flatten their (workload x model x
    config) grids into one task list, evaluate it through the harness
@@ -133,6 +134,66 @@ let pp_speedups ~title ppf t =
   Format.fprintf ppf "%-10s" "geomean";
   List.iter (fun s -> Format.fprintf ppf " %12.2f" s) t.geomean;
   Format.fprintf ppf "@,@]"
+
+(* ----- rival out-of-order backend ----- *)
+
+type rob_row = {
+  r_name : string;
+  r_scalar_cycles : int;
+  r_rob_cycles : int;
+  r_speedup : float;
+  r_mispredicts : int;
+  r_squashed : int;
+  r_identical : bool;
+}
+
+type rob_table = { rob_rows : rob_row list; rob_geomean : float }
+
+let rob_rival (h : Harness.t) =
+  let rob_rows =
+    Harness.par_map h
+      (fun (e : Harness.entry) ->
+        let w = e.Harness.workload in
+        let r =
+          Rob_sim.run ~model:h.Harness.machine ~regs:w.Dsl.regs
+            ~mem:(w.Dsl.make_mem ()) w.Dsl.program
+        in
+        let scalar = Harness.scalar_cycles e in
+        let s = e.Harness.scalar in
+        {
+          r_name = w.Dsl.name;
+          r_scalar_cycles = scalar;
+          r_rob_cycles = r.Rob_sim.cycles;
+          r_speedup = Harness.speedup ~scalar ~cycles:r.Rob_sim.cycles;
+          r_mispredicts = r.Rob_sim.stats.Rob_sim.mispredicts;
+          r_squashed = r.Rob_sim.stats.Rob_sim.squashed;
+          r_identical =
+            s.Interp.outcome = r.Rob_sim.outcome
+            && s.Interp.output = r.Rob_sim.output
+            && Reg.Map.equal Int.equal s.Interp.regs r.Rob_sim.regs
+            && s.Interp.faults_handled = r.Rob_sim.faults_handled;
+        })
+      h.Harness.entries
+  in
+  {
+    rob_rows;
+    rob_geomean = Harness.geomean (List.map (fun r -> r.r_speedup) rob_rows);
+  }
+
+let pp_rob ppf t =
+  Format.fprintf ppf
+    "@[<v>Rival out-of-order backend (same ISA, same capacities)@,";
+  Format.fprintf ppf "%-10s %10s %10s %8s %10s %9s %6s@," "Program" "scalar"
+    "rob" "speedup" "mispredict" "squashed" "ident";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %10d %10d %8.2f %10d %9d %6s@," r.r_name
+        r.r_scalar_cycles r.r_rob_cycles r.r_speedup r.r_mispredicts
+        r.r_squashed
+        (if r.r_identical then "yes" else "NO"))
+    t.rob_rows;
+  Format.fprintf ppf "%-10s %10s %10s %8.2f@," "geomean" "" "" t.rob_geomean;
+  Format.fprintf ppf "@]"
 
 (* ----- Figure 8 ----- *)
 

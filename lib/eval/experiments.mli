@@ -39,6 +39,32 @@ val figure7 : Harness.t -> speedup_table
 
 val pp_speedups : title:string -> Format.formatter -> speedup_table -> unit
 
+(* ----- Rival out-of-order backend ----- *)
+
+type rob_row = {
+  r_name : string;
+  r_scalar_cycles : int;
+  r_rob_cycles : int;
+  r_speedup : float;
+  r_mispredicts : int;
+  r_squashed : int;
+  r_identical : bool;
+      (** outcome, output, final registers and handled-fault count all
+          match the scalar reference — the architectural-equivalence
+          witness, re-checked on every report *)
+}
+
+type rob_table = { rob_rows : rob_row list; rob_geomean : float }
+
+val rob_rival : Harness.t -> rob_table
+(** The dynamic alternative ({!Psb_machine.Rob_sim}) on the harness
+    machine model: per-workload cycles vs the scalar reference, with the
+    speculation-waste counters. Kept out of {!speedup_table} on purpose —
+    the ROB runs the {e scalar} program, so it has no compile model
+    column. *)
+
+val pp_rob : Format.formatter -> rob_table -> unit
+
 (* ----- Figure 8: full-issue machines × speculation depth ----- *)
 
 type fig8_cell = { issue : int; conds : int; speedup : float }

@@ -197,6 +197,28 @@ let limits_json rows =
            ])
        rows)
 
+let rob_json (t : Experiments.rob_table) =
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (r : Experiments.rob_row) ->
+               Json.Obj
+                 [
+                   ("name", str r.Experiments.r_name);
+                   ("scalar_cycles", Json.Int r.Experiments.r_scalar_cycles);
+                   ("rob_cycles", Json.Int r.Experiments.r_rob_cycles);
+                   ("speedup", flt r.Experiments.r_speedup);
+                   ("mispredicts", Json.Int r.Experiments.r_mispredicts);
+                   ("squashed", Json.Int r.Experiments.r_squashed);
+                   ( "architecturally_identical",
+                     Json.Bool r.Experiments.r_identical );
+                 ])
+             t.Experiments.rob_rows) );
+      ("geomean", flt t.Experiments.rob_geomean);
+    ]
+
 let hwcost_json (r : Hwcost.report) =
   Json.Obj
     [
@@ -210,13 +232,17 @@ let hwcost_json (r : Hwcost.report) =
       ("encode_bits_region", Json.Int r.Hwcost.encode_bits_region);
       ("encode_bits_trace", Json.Int r.Hwcost.encode_bits_trace);
       ("encode_bits_srcs", Json.Int r.Hwcost.encode_bits_srcs);
+      ("rob_entry_transistors", Json.Int r.Hwcost.rob_entry_transistors);
+      ("rob_rename_transistors", Json.Int r.Hwcost.rob_rename_transistors);
+      ("rob_cam_transistors", Json.Int r.Hwcost.rob_cam_transistors);
+      ("rob_overhead", flt r.Hwcost.rob_overhead);
     ]
 
 let experiment_names =
   [
     "table2"; "table3"; "fig6"; "fig7"; "fig8"; "related"; "shadow";
     "validation"; "counter"; "btb"; "dup"; "size"; "unroll"; "sweep";
-    "limits"; "hwcost";
+    "limits"; "hwcost"; "rob";
   ]
 
 let experiment (h : Harness.t) = function
@@ -237,6 +263,7 @@ let experiment (h : Harness.t) = function
       Some (sweep_json (Experiments.predictability_sweep ?pool:h.Harness.pool ()))
   | "limits" -> Some (limits_json (Limits.analyze_suite ()))
   | "hwcost" -> Some (hwcost_json (Hwcost.analyze Hwcost.default))
+  | "rob" -> Some (rob_json (Experiments.rob_rival h))
   | _ -> None
 
 (* Per-workload speculation scorecards (schema 3): each workload runs
@@ -334,7 +361,7 @@ let all ?(names = experiment_names) ?(runtime = false) h =
   in
   Json.Obj
     ([
-       ("schema_version", Json.Int 3);
+       ("schema_version", Json.Int 4);
        ("experiments", Json.Obj experiments);
      ]
     @

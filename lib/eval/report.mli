@@ -4,7 +4,7 @@
 
     Document shape:
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "experiments": {
         "table2":     [ {"name", "lines", "scalar_cycles"} ... ],
         "table3":     [ {"name", "accuracy": [..8 floats..]} ... ],
@@ -23,7 +23,11 @@
         "sweep":      [ {"taken_prob", "trace", "region"} ... ],
         "limits":     [ {"name", "dyn_instrs", "block_ipc", "oracle_ipc",
                          "headroom"} ... ],
-        "hwcost":     { ... the Hwcost.report fields ... } },
+        "hwcost":     { ... the Hwcost.report fields ... },
+        "rob":        { "rows": [{"name", "scalar_cycles", "rob_cycles",
+                         "speedup", "mispredicts", "squashed",
+                         "architecturally_identical"}..],
+                        "geomean" } },
       "runtime":      (optional, only with [~runtime:true])
                       { "jobs", "domains": [{"domain","tasks",
                         "busy_seconds"}..],
@@ -40,6 +44,10 @@
     scorecards from one {!Psb_obs.Spec_profile} run of the flagship
     executable model ({!Psb_compiler.Model.region_pred}) with the
     structured event log attached.
+
+    Schema 4 adds the "rob" experiment (the rival out-of-order backend,
+    {!Psb_machine.Rob_sim}, vs the scalar reference) and the four
+    [rob_*] cost columns inside "hwcost".
 
     Everything under "experiments" is deterministic — byte-identical at
     any [-j] level. "runtime" is the sole nondeterministic member

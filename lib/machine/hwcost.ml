@@ -6,6 +6,7 @@ type params = {
   ccr_size : int;
   shadow_read_ports : int;
   shadow_write_ports : int;
+  rob_entries : int;
 }
 
 let default =
@@ -20,6 +21,9 @@ let default =
        commit-copy path. *)
     shadow_read_ports = 8;
     shadow_write_ports = 1;
+    (* the rival out-of-order backend's buffer, at the base machine
+       model's capacity (Machine_model.base.rob_size) *)
+    rob_entries = 32;
   }
 
 type report = {
@@ -33,6 +37,10 @@ type report = {
   encode_bits_region : int;
   encode_bits_trace : int;
   encode_bits_srcs : int;
+  rob_entry_transistors : int;
+  rob_rename_transistors : int;
+  rob_cam_transistors : int;
+  rob_overhead : float;
 }
 
 (* A multi-ported SRAM cell: a cross-coupled pair (4T) plus one pass
@@ -62,6 +70,31 @@ let analyze p =
   let match_logic = p.ccr_size * (xor_t + or_t) + (p.ccr_size - 1) * and_t in
   let flags = 3 * (flipflop_t + and_t) in
   let commit = p.nregs * (pred_storage + match_logic + flags) in
+  (* The rival reorder-buffer backend, costed against the same base
+     register file (per the elgron-eon blueprint: circular entry array,
+     rename map, completion broadcast, store-to-load address match).
+     Per entry: the buffered result, the destination architectural
+     register id, and valid/issued/done/exception state, all in
+     flip-flops (the entries are randomly written by completion, not a
+     simple multi-ported SRAM). *)
+  let tag_bits = ceil_log2 p.rob_entries in
+  let dst_bits = ceil_log2 p.nregs in
+  let rob_entry =
+    p.rob_entries * ((p.width + dst_bits + 4) * flipflop_t)
+  in
+  (* Rename table: one ROB tag (plus a busy bit) per architectural
+     register, ported like the base file's operand-fetch path. *)
+  let rename_cell =
+    cell_transistors ~read_ports:p.read_ports ~write_ports:p.write_ports
+  in
+  let rob_rename = (p.nregs * tag_bits * rename_cell) + (p.nregs * flipflop_t) in
+  (* CAMs: the completion broadcast matches the finished tag against two
+     source tags in every entry, and loads match their address against
+     every entry's store address for forwarding. A comparator is an XOR
+     per bit folded by an AND tree. *)
+  let tag_cmp = (tag_bits * xor_t) + ((tag_bits - 1) * and_t) in
+  let addr_cmp = (p.width * xor_t) + ((p.width - 1) * and_t) in
+  let rob_cam = p.rob_entries * ((2 * tag_cmp) + addr_cmp) in
   let fb = float_of_int base in
   {
     base_transistors = base;
@@ -74,6 +107,10 @@ let analyze p =
     encode_bits_region = 2 * p.ccr_size;
     encode_bits_trace = ceil_log2 p.ccr_size + 1;
     encode_bits_srcs = 2;
+    rob_entry_transistors = rob_entry;
+    rob_rename_transistors = rob_rename;
+    rob_cam_transistors = rob_cam;
+    rob_overhead = float_of_int (rob_entry + rob_rename + rob_cam) /. fb;
   }
 
 let pp_report ppf r =
@@ -83,8 +120,10 @@ let pp_report ppf r =
      commit hardware:       +%d (%.0f%%)@,\
      total overhead:        %.0f%%@,\
      predicate evaluation:  %d gate levels@,\
-     encoding: region +%d predicate bits, trace +%d bits, +%d source bits@]"
+     encoding: region +%d predicate bits, trace +%d bits, +%d source bits@,\
+     rival ROB backend:     +%d entries, +%d rename, +%d CAM (%.0f%%)@]"
     r.base_transistors r.storage_transistors (100. *. r.storage_overhead)
     r.commit_transistors (100. *. r.commit_overhead)
     (100. *. r.total_overhead) r.eval_gate_levels r.encode_bits_region
-    r.encode_bits_trace r.encode_bits_srcs
+    r.encode_bits_trace r.encode_bits_srcs r.rob_entry_transistors
+    r.rob_rename_transistors r.rob_cam_transistors (100. *. r.rob_overhead)

@@ -23,10 +23,14 @@ type params = {
       (** the speculative storage needs fewer ports: it is read only by the
           operand-fetch fallback path and written by the spec writeback *)
   shadow_write_ports : int;
+  rob_entries : int;
+      (** capacity of the rival out-of-order backend's reorder buffer
+          ({!Rob_sim}), for the comparative cost columns *)
 }
 
 val default : params
-(** The paper's design point: 32 registers, 32 bits, 8R/4W, K = 4. *)
+(** The paper's design point: 32 registers, 32 bits, 8R/4W, K = 4; the
+    rival ROB at the base machine model's 32 entries. *)
 
 type report = {
   base_transistors : int;  (** normal register file *)
@@ -39,6 +43,17 @@ type report = {
   encode_bits_region : int;  (** predicate bits, region predicating: 2K *)
   encode_bits_trace : int;  (** trace predicating: ceil(log2 K) + 1 *)
   encode_bits_srcs : int;  (** shadow-state bits, one per source *)
+  rob_entry_transistors : int;
+      (** rival backend: per-entry result/destination/state flip-flops *)
+  rob_rename_transistors : int;
+      (** rename map (one ROB tag + busy bit per architectural register,
+          operand-fetch ported) *)
+  rob_cam_transistors : int;
+      (** completion tag broadcast (two source comparators per entry) plus
+          the store-to-load address match *)
+  rob_overhead : float;
+      (** (entries + rename + CAM) / base — the dynamic alternative's
+          cost on the same yardstick as {!total_overhead} *)
 }
 
 val analyze : params -> report

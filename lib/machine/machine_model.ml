@@ -13,6 +13,7 @@ type t = {
   transition_penalty : int;
   sb_capacity : int;
   dcache_ports : int;
+  rob_size : int;
 }
 
 let base =
@@ -29,6 +30,7 @@ let base =
     transition_penalty = 0;
     sb_capacity = 16;
     dcache_ports = 1;
+    rob_size = 32;
   }
 
 let scalar =
@@ -45,6 +47,7 @@ let scalar =
     transition_penalty = 0;
     sb_capacity = 16;
     dcache_ports = 1;
+    rob_size = 8;
   }
 
 let full_issue ~width ~max_spec_conds =
@@ -61,9 +64,11 @@ let full_issue ~width ~max_spec_conds =
     transition_penalty = 0;
     sb_capacity = 16;
     dcache_ports = width;
+    rob_size = 8 * width;
   }
 
 let ccr_size t = t.ccr_size
+let rob_size t = t.rob_size
 let max_spec_conds t = t.max_spec_conds
 let sb_capacity t = t.sb_capacity
 let dcache_ports t = t.dcache_ports

@@ -30,6 +30,9 @@ type t = {
           FIFO is full *)
   dcache_ports : int;
       (** D-cache write ports: store-buffer entries drained per cycle *)
+  rob_size : int;
+      (** reorder-buffer entries of the rival out-of-order backend
+          ({!Rob_sim}); bounds how far its fetch may run ahead of commit *)
 }
 
 val base : t
@@ -62,6 +65,11 @@ val sb_capacity : t -> int
 
 val dcache_ports : t -> int
 (** Store-buffer entries drained to the D-cache per cycle. *)
+
+val rob_size : t -> int
+(** Reorder-buffer entries available to the out-of-order backend
+    ({!Rob_sim}): 32 on the base machine, 8 on the scalar reference,
+    [8 * width] on full-issue machines. *)
 
 val shadow_capacity : single_shadow:bool -> t -> int
 (** Speculative (shadow) versions storable per architectural register:

@@ -14,6 +14,8 @@ type kind =
   | Sb_squash
   | Fault_deferred
   | Fault_raised
+  | Rob_commit
+  | Rob_squash
 
 let kind_name = function
   | Region_enter -> "region_enter"
@@ -31,6 +33,8 @@ let kind_name = function
   | Sb_squash -> "sb_squash"
   | Fault_deferred -> "fault_deferred"
   | Fault_raised -> "fault_raised"
+  | Rob_commit -> "rob_commit"
+  | Rob_squash -> "rob_squash"
 
 (* All constructors of [kind] are constant, so values are immediates and
    [kinds] below is an unboxed int array: [emit] touches four flat

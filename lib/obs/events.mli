@@ -45,7 +45,13 @@
     - [Fault_deferred]: a speculative fault was buffered with its
       predicate; [a] = faulting address, or [-1] for arithmetic faults
     - [Fault_raised]: a fault was actually handled or proved fatal;
-      [a] = address or [-1], [b] = 1 if recovered, 0 if fatal *)
+      [a] = address or [-1], [b] = 1 if recovered, 0 if fatal
+    - [Rob_commit]: a reorder-buffer entry retired in program order;
+      [a] = fetch sequence number (strictly increasing over a run),
+      [b] = ROB slot index
+    - [Rob_squash]: an entry was flushed before retiring; [a] = fetch
+      sequence number, [b] = 0 on a branch mispredict, [1] on a
+      commit-time fault restart *)
 
 type kind =
   | Region_enter
@@ -63,6 +69,8 @@ type kind =
   | Sb_squash
   | Fault_deferred
   | Fault_raised
+  | Rob_commit
+  | Rob_squash
 
 val kind_name : kind -> string
 (** Stable lower-snake name ([region_enter], [sb_flush], ...) used in

@@ -19,6 +19,8 @@ type card = {
   mutable sb_flushes : int;
   mutable faults_deferred : int;
   mutable faults_raised : int;
+  mutable rob_commits : int;
+  mutable rob_squashes : int;
   shadow_lifetime : Metrics.histogram;
   sb_dwell : Metrics.histogram;
 }
@@ -57,6 +59,8 @@ let new_card t region =
       sb_flushes = 0;
       faults_deferred = 0;
       faults_raised = 0;
+      rob_commits = 0;
+      rob_squashes = 0;
       shadow_lifetime =
         Metrics.histogram t.metrics ~labels ~buckets:lifetime_buckets
           "spec_shadow_lifetime_cycles";
@@ -194,7 +198,13 @@ let of_events ~total_cycles events =
           c.faults_deferred <- c.faults_deferred + 1
       | Events.Fault_raised ->
           let c = card () in
-          c.faults_raised <- c.faults_raised + 1);
+          c.faults_raised <- c.faults_raised + 1
+      | Events.Rob_commit ->
+          let c = card () in
+          c.rob_commits <- c.rob_commits + 1
+      | Events.Rob_squash ->
+          let c = card () in
+          c.rob_squashes <- c.rob_squashes + 1);
   settle_issue ~useful:false;
   (match !cur with
   | Some last -> last.cycles <- last.cycles + (total_cycles - !enter_cycle)
@@ -213,14 +223,17 @@ let reconciles t = t.dropped = 0 && attributed_cycles t = t.total_cycles
 
 let commit_total t =
   List.fold_left
-    (fun acc c -> acc + c.shadow_commits + c.sb_commits)
+    (fun acc c -> acc + c.shadow_commits + c.sb_commits + c.rob_commits)
     0 t.cards_rev
 
 let squash_rate c =
   let squashed =
     c.shadow_squashes + c.shadow_invalidated + c.sb_squashes + c.sb_invalidated
+    + c.rob_squashes
   in
-  let resolved = squashed + c.shadow_commits + c.sb_commits in
+  let resolved =
+    squashed + c.shadow_commits + c.sb_commits + c.rob_commits
+  in
   if resolved = 0 then 0. else float_of_int squashed /. float_of_int resolved
 
 let metrics t = t.metrics
@@ -238,9 +251,9 @@ let pp ppf t =
         c.region c.visits c.cycles c.useful c.wasted
         (100. *. squash_rate c)
         c.spec_writes
-        (c.shadow_commits + c.sb_commits)
+        (c.shadow_commits + c.sb_commits + c.rob_commits)
         (c.shadow_squashes + c.shadow_invalidated + c.sb_squashes
-       + c.sb_invalidated)
+       + c.sb_invalidated + c.rob_squashes)
         c.sb_appends c.sb_forwards c.sb_flushes c.faults_deferred
         c.faults_raised)
     (cards t);
@@ -309,6 +322,8 @@ let to_json t =
         ("sb_flushes", Json.Int c.sb_flushes);
         ("faults_deferred", Json.Int c.faults_deferred);
         ("faults_raised", Json.Int c.faults_raised);
+        ("rob_commits", Json.Int c.rob_commits);
+        ("rob_squashes", Json.Int c.rob_squashes);
         ("shadow_lifetime", hist_json c.shadow_lifetime);
         ("sb_dwell", hist_json c.sb_dwell);
       ]

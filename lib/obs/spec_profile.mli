@@ -47,6 +47,10 @@ type card = {
   mutable sb_flushes : int;  (** D-cache writes *)
   mutable faults_deferred : int;
   mutable faults_raised : int;
+  mutable rob_commits : int;
+      (** reorder-buffer entries retired ({!Events.Rob_commit}) *)
+  mutable rob_squashes : int;
+      (** entries flushed on mispredict or fault restart *)
   shadow_lifetime : Metrics.histogram;
   sb_dwell : Metrics.histogram;
 }
@@ -76,8 +80,8 @@ val reconciles : t -> bool
 (** No dropped events and {!attributed_cycles} [=] {!total_cycles}. *)
 
 val commit_total : t -> int
-(** Shadow + store-buffer commits across all regions (equals the
-    machine's [stats.commits], test-enforced). *)
+(** Shadow + store-buffer + reorder-buffer commits across all regions
+    (equals the machine's [stats.commits], test-enforced). *)
 
 val squash_rate : card -> float
 (** Squashed buffered state (shadow + store buffer, invalidations

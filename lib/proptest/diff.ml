@@ -3,6 +3,7 @@ open Psb_compiler
 module Machine_model = Psb_machine.Machine_model
 module Vliw_sim = Psb_machine.Vliw_sim
 module Scalar_sim = Psb_machine.Scalar_sim
+module Rob_sim = Psb_machine.Rob_sim
 module Pred_kernel = Psb_machine.Pred_kernel
 module Exec_kernel = Psb_machine.Exec_kernel
 module Verify = Psb_verify.Verify
@@ -26,6 +27,10 @@ let staged stage f =
 
 let scalar_fuel = 500_000
 let vliw_fuel = 2_000_000
+
+(* cycle fuel, not instruction fuel: the out-of-order backend burns
+   frontend/stall cycles the interpreter never sees *)
+let rob_fuel = 4_000_000
 
 let outcomes_match (a : Interp.outcome) (b : Interp.outcome) =
   match (a, b) with
@@ -65,6 +70,38 @@ let check_scalar (g : Gen.t) (reference : Interp.result) ref_mem =
       if not (Memory.equal ref_mem mem) then
         fail "interp-vs-scalar" "final memory differs")
 
+(* stage 2: the out-of-order ROB backend must be architecturally
+   byte-identical to the interpreter — outcome (same fatal fault),
+   output, final registers, final memory and the handled-fault count;
+   predicated-state buffering and reorder-buffer speculation are rival
+   mechanisms for the same contract. The cycle-accounting breakdown must
+   also sum exactly to the cycle count. *)
+let check_rob (g : Gen.t) (reference : Interp.result) ref_mem =
+  staged "rob-vs-interp" (fun () ->
+      let mem = Gen.make_mem g in
+      let r =
+        Rob_sim.run ~fuel:rob_fuel ~model:Machine_model.base ~regs:Gen.regs
+          ~mem g.Gen.program
+      in
+      if not (outcomes_match reference.Interp.outcome r.Rob_sim.outcome) then
+        fail "rob-vs-interp" "interp %a, rob %a" Interp.pp_outcome
+          reference.Interp.outcome Interp.pp_outcome r.Rob_sim.outcome;
+      if reference.Interp.output <> r.Rob_sim.output then
+        fail "rob-vs-interp" "output %s vs %s"
+          (pp_out reference.Interp.output)
+          (pp_out r.Rob_sim.output);
+      if not (Reg.Map.equal Int.equal reference.Interp.regs r.Rob_sim.regs)
+      then fail "rob-vs-interp" "final registers differ";
+      if not (Memory.equal ref_mem mem) then
+        fail "rob-vs-interp" "final memory differs";
+      if reference.Interp.faults_handled <> r.Rob_sim.faults_handled then
+        fail "rob-vs-interp" "faults handled: interp %d, rob %d"
+          reference.Interp.faults_handled r.Rob_sim.faults_handled;
+      let bd = Rob_sim.breakdown_total r.Rob_sim.breakdown in
+      if bd <> r.Rob_sim.cycles then
+        fail "rob-vs-interp" "breakdown sums to %d but cycles = %d" bd
+          r.Rob_sim.cycles)
+
 let run_vliw ?pred_kernel ?exec_kernel (compiled : Driver.compiled) ~mem =
   match compiled.Driver.pcode with
   | None -> invalid_arg "Diff.run_vliw: model not executable"
@@ -74,7 +111,7 @@ let run_vliw ?pred_kernel ?exec_kernel (compiled : Driver.compiled) ~mem =
       Vliw_sim.run ~fuel:vliw_fuel ?pred_kernel ?exec_kernel
         ~model:compiled.Driver.machine ~regs:Gen.regs ~mem pcode
 
-(* stages 2-4, once per executable model *)
+(* stages 3-5, once per executable model *)
 let check_model ?inject (g : Gen.t) (scalar : Interp.result) scalar_mem profile
     (model : Model.t) =
   let m = model.Model.name in
@@ -180,7 +217,7 @@ let check_model ?inject (g : Gen.t) (scalar : Interp.result) scalar_mem profile
           Interp.pp_outcome vliw.Vliw_sim.outcome tree.Vliw_sim.cycles
           Interp.pp_outcome tree.Vliw_sim.outcome)
 
-(* stage 5: cache hit = cold compile, on the flagship model (the cache
+(* stage 6: cache hit = cold compile, on the flagship model (the cache
    key covers model/machine/options, so one model suffices per program) *)
 let check_cache (g : Gen.t) profile =
   staged "cache" (fun () ->
@@ -208,6 +245,7 @@ let check ?inject (g : Gen.t) =
     if scalar.Interp.outcome = Interp.Out_of_fuel then Ok ()
     else begin
       check_scalar g scalar scalar_mem;
+      check_rob g scalar scalar_mem;
       let profile =
         staged "profile" (fun () ->
             snd (Driver.profile_of g.Gen.program ~regs:Gen.regs

@@ -5,6 +5,10 @@
     + the DSL-level reference ({!Psb_isa.Interp}) against the scalar
       baseline front-end ({!Psb_machine.Scalar_sim}) — outcome, output,
       cycles and final memory;
+    + the reference against the out-of-order reorder-buffer backend
+      ({!Psb_machine.Rob_sim}) — outcome (same fatal fault), output,
+      final registers, final memory, handled-fault count, and the
+      cycle-accounting breakdown summing exactly to the cycle count;
     + for every executable {!Psb_compiler.Model}: compile (optionally
       with an {!Inject}ed miscompile), statically verify
       ({!Psb_verify.Verify}), then run the predicated code on the VLIW
@@ -25,9 +29,9 @@
 
 type failure = {
   stage : string;
-      (** [interp-vs-scalar], [compile], [verify], [vliw-vs-scalar],
-          [mask-vs-map], [lowered-vs-tree], [cache], prefixed by the
-          model name where model-specific *)
+      (** [interp-vs-scalar], [rob-vs-interp], [compile], [verify],
+          [vliw-vs-scalar], [mask-vs-map], [lowered-vs-tree], [cache],
+          prefixed by the model name where model-specific *)
   detail : string;
 }
 

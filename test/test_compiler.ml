@@ -355,6 +355,41 @@ let test_model_ordering_diamond () =
     (Format.asprintf "region-pred (%d) <= global (%d)" rp global)
     true (rp <= global)
 
+(* ---------- model lookup (the CLI's -m conv) ---------- *)
+
+let test_model_find () =
+  (match Model.find "region-pred" with
+  | Ok m -> Alcotest.(check string) "hyphen name" "region-pred" m.Model.name
+  | Error e -> Alcotest.failf "region-pred: %s" e);
+  (match Model.find "region_pred" with
+  | Ok m ->
+      Alcotest.(check string) "underscores normalise" "region-pred"
+        m.Model.name
+  | Error e -> Alcotest.failf "region_pred: %s" e);
+  match Model.find "trace-pred-counter" with
+  | Ok m ->
+      Alcotest.(check string) "counter variant findable" "trace-pred-counter"
+        m.Model.name
+  | Error e -> Alcotest.failf "trace-pred-counter: %s" e
+
+let test_model_find_unknown_lists_all () =
+  match Model.find "nonsense" with
+  | Ok _ -> Alcotest.fail "nonsense resolved to a model"
+  | Error msg ->
+      (* The CLI surfaces this string verbatim, so it must name every
+         valid model. *)
+      List.iter
+        (fun (m : Model.t) ->
+          Alcotest.(check bool)
+            (m.Model.name ^ " listed") true
+            (let rec contains i =
+               i + String.length m.Model.name <= String.length msg
+               && (String.sub msg i (String.length m.Model.name) = m.Model.name
+                  || contains (i + 1))
+             in
+             contains 0))
+        (Model.trace_pred_counter :: Model.all)
+
 let () =
   Alcotest.run "compiler"
     [
@@ -383,5 +418,11 @@ let () =
         [
           Alcotest.test_case "speedup sanity" `Quick test_speedup_sane;
           Alcotest.test_case "model ordering" `Quick test_model_ordering_diamond;
+        ] );
+      ( "model-lookup",
+        [
+          Alcotest.test_case "by name" `Quick test_model_find;
+          Alcotest.test_case "unknown lists every model" `Quick
+            test_model_find_unknown_lists_all;
         ] );
     ]

@@ -385,13 +385,13 @@ let test_baseline_checked_in_files () =
       | Error e -> Alcotest.failf "%s: %s" f e)
     candidates
 
-(* ---------- report schema 3 ---------- *)
+(* ---------- report schema 4 ---------- *)
 
 let test_report_speculation_member () =
   let doc = Report.all ~names:[ "table2" ] ~runtime:true (Lazy.force h) in
   let open Psb_obs.Json in
   (match member "schema_version" doc with
-  | Some (Int 3) -> ()
+  | Some (Int 4) -> ()
   | other ->
       Alcotest.failf "schema_version: %s"
         (match other with Some v -> to_string v | None -> "missing"));
@@ -414,6 +414,41 @@ let test_report_speculation_member () =
             (to_list (Option.get (member "regions" card)) <> []))
         entries
   | _ -> Alcotest.fail "speculation member is not an object"
+
+(* ---------- rival ROB experiment ---------- *)
+
+let test_rob_experiment () =
+  let t = Experiments.rob_rival (Lazy.force h) in
+  Alcotest.(check int) "six benchmarks" 6 (List.length t.Experiments.rob_rows);
+  List.iter
+    (fun (r : Experiments.rob_row) ->
+      check_bool (r.Experiments.r_name ^ " architecturally identical") true
+        r.Experiments.r_identical;
+      check_bool (r.Experiments.r_name ^ " beats scalar") true
+        (r.Experiments.r_speedup > 1.0))
+    t.Experiments.rob_rows;
+  check_bool "geomean > 1" true (t.Experiments.rob_geomean > 1.0);
+  check_bool "rob registered in the dispatch" true
+    (List.mem "rob" Report.experiment_names);
+  match Report.experiment (Lazy.force h) "rob" with
+  | Some json -> (
+      match Psb_obs.Json.member "rows" json with
+      | Some (Psb_obs.Json.List rows) ->
+          Alcotest.(check int) "json rows" 6 (List.length rows)
+      | _ -> Alcotest.fail "rob report member has no rows")
+  | None -> Alcotest.fail "rob missing from the experiment dispatch"
+
+let test_hwcost_json_rob_fields () =
+  match Report.experiment (Lazy.force h) "hwcost" with
+  | Some json ->
+      List.iter
+        (fun f ->
+          check_bool (f ^ " present") true (Psb_obs.Json.member f json <> None))
+        [
+          "rob_entry_transistors"; "rob_rename_transistors";
+          "rob_cam_transistors"; "rob_overhead";
+        ]
+  | None -> Alcotest.fail "hwcost missing from the experiment dispatch"
 
 let () =
   Alcotest.run "eval"
@@ -458,8 +493,11 @@ let () =
         ] );
       ( "report",
         [
-          Alcotest.test_case "schema 3 speculation" `Slow
+          Alcotest.test_case "schema 4 speculation" `Slow
             test_report_speculation_member;
+          Alcotest.test_case "rob experiment" `Quick test_rob_experiment;
+          Alcotest.test_case "hwcost rob fields" `Quick
+            test_hwcost_json_rob_fields;
         ] );
       ( "related",
         [ Alcotest.test_case "2.2 spectrum" `Slow test_related_spectrum ] );

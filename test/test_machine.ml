@@ -1273,7 +1273,181 @@ let test_hwcost () =
     (abs_float
        (r.Hwcost.total_overhead
        -. (r.Hwcost.storage_overhead +. r.Hwcost.commit_overhead))
-    < 1e-9)
+    < 1e-9);
+  (* Exact pins at the paper's design point: the cost model is pure
+     arithmetic on the params, so any drift is a model change that must
+     be reflected in EXPERIMENTS.md, not noise. *)
+  check_int "base register file" 16384 r.Hwcost.base_transistors;
+  check_bool "storage overhead exact" true
+    (r.Hwcost.storage_overhead = 0.8125);
+  check_bool "commit overhead exact" true
+    (r.Hwcost.commit_overhead = 0.296875);
+  check_bool "total overhead exact" true
+    (r.Hwcost.total_overhead = 1.109375)
+
+let test_hwcost_rob () =
+  let r = Hwcost.analyze Hwcost.default in
+  (* 32 entries x (32 result + 5 dst + 4 state bits) x 8T flip-flops *)
+  check_int "ROB entry storage" 10496 r.Hwcost.rob_entry_transistors;
+  (* 32 regs x 5 tag bits x 16T cell + 32 busy flip-flops *)
+  check_int "rename map" 2816 r.Hwcost.rob_rename_transistors;
+  (* 32 entries x (2 tag comparators + 1 address comparator) *)
+  check_int "completion + forwarding CAMs" 13056 r.Hwcost.rob_cam_transistors;
+  check_bool "ROB overhead exact" true (r.Hwcost.rob_overhead = 1.609375);
+  check_bool "ROB costs more than predication on the same yardstick" true
+    (r.Hwcost.rob_overhead > r.Hwcost.total_overhead)
+
+(* ---------- the rival out-of-order backend ---------- *)
+
+module Suite = Psb_workloads.Suite
+module Dsl = Psb_workloads.Dsl
+
+let rob_machines =
+  [
+    ("base", Machine_model.base);
+    ("scalar", Machine_model.scalar);
+    ("full-issue-8", Machine_model.full_issue ~width:8 ~max_spec_conds:8);
+  ]
+
+(* The acceptance property: the ROB backend is architecturally
+   byte-identical to the DSL interpreter on the whole suite, under every
+   machine model — outcome, output, written registers, final memory and
+   the handled-fault count all agree, and the cycle accounting is total
+   (the breakdown sums exactly to the cycle count). *)
+let test_rob_suite_identical () =
+  List.iter
+    (fun (mname, model) ->
+      List.iter
+        (fun (w : Dsl.t) ->
+          let tag = w.Dsl.name ^ "/" ^ mname in
+          let ref_mem = w.Dsl.make_mem () in
+          let s = Interp.run ~regs:w.Dsl.regs ~mem:ref_mem w.Dsl.program in
+          let rob_mem = w.Dsl.make_mem () in
+          let r =
+            Rob_sim.run ~model ~regs:w.Dsl.regs ~mem:rob_mem w.Dsl.program
+          in
+          check_bool (tag ^ ": outcome") true
+            (s.Interp.outcome = r.Rob_sim.outcome);
+          check_bool (tag ^ ": output") true (s.Interp.output = r.Rob_sim.output);
+          check_bool (tag ^ ": registers") true
+            (Reg.Map.equal Int.equal s.Interp.regs r.Rob_sim.regs);
+          check_bool (tag ^ ": memory") true (Memory.equal ref_mem rob_mem);
+          check_int (tag ^ ": faults handled") s.Interp.faults_handled
+            r.Rob_sim.faults_handled;
+          check_int
+            (tag ^ ": breakdown sums to cycles")
+            r.Rob_sim.cycles
+            (Rob_sim.breakdown_total r.Rob_sim.breakdown))
+        Suite.all)
+    rob_machines
+
+(* A wrong-path fatal fault must vanish with the squashed entry: the
+   2-bit counters start weakly taken, so the first visit of [head]
+   predicts [bad] — whose load dereferences a negative address (fatal) —
+   while the actual path is [good]. The branch condition hangs off a
+   load-fed add chain, so the wrong-path load completes (fault buffered)
+   well before the branch resolves and flushes it. *)
+let test_rob_squashed_fatal_fault () =
+  let program =
+    Asm.parse_exn
+      {|
+entry entry
+entry:
+  r1 = 0
+  r9 = -64
+  jmp head
+head:
+  r3 = load r1+0
+  r4 = add r3 1
+  r5 = add r4 1
+  r6 = r5 < 0
+  br r6 ? bad : good
+bad:
+  r8 = load r9+0
+  jmp good
+good:
+  out r5
+  halt
+|}
+  in
+  let ref_mem = Memory.create ~size:64 in
+  let s = Interp.run ~regs:[] ~mem:ref_mem program in
+  let mem = Memory.create ~size:64 in
+  let r = Rob_sim.run ~model:Machine_model.base ~regs:[] ~mem program in
+  check_bool "interp halts" true (s.Interp.outcome = Interp.Halted);
+  check_bool "rob halts despite the wrong-path fatal load" true
+    (r.Rob_sim.outcome = Interp.Halted);
+  check_bool "output" true (r.Rob_sim.output = [ 2 ]);
+  check_int "one mispredict" 1 r.Rob_sim.stats.Rob_sim.mispredicts;
+  check_bool "the fatal fault was buffered then squashed" true
+    (r.Rob_sim.stats.Rob_sim.squashed_faults >= 1);
+  check_int "no fault ever raised" 0 r.Rob_sim.faults_handled;
+  check_bool "registers match interp" true
+    (Reg.Map.equal Int.equal s.Interp.regs r.Rob_sim.regs)
+
+(* The retirement timeline reconciles exactly like the VLIW machine's:
+   commit-ordered Region_enter residencies telescope to the cycle total,
+   and every committed entry appears as one Rob_commit. *)
+let test_rob_spec_profile_reconciles () =
+  let w = Suite.find "compress" in
+  let events = Psb_obs.Events.create ~capacity:(1 lsl 20) () in
+  let r =
+    Rob_sim.run ~events ~model:Machine_model.base ~regs:w.Dsl.regs
+      ~mem:(w.Dsl.make_mem ()) w.Dsl.program
+  in
+  let prof =
+    Psb_obs.Spec_profile.of_events ~total_cycles:r.Rob_sim.cycles events
+  in
+  check_bool "profile reconciles" true (Psb_obs.Spec_profile.reconciles prof);
+  let commits = ref 0 in
+  Psb_obs.Events.iter events (fun _cycle kind _a _b ->
+      if kind = Psb_obs.Events.Rob_commit then incr commits);
+  check_int "one Rob_commit per retired entry"
+    r.Rob_sim.stats.Rob_sim.committed !commits
+
+(* Rob_commit's [a] is the fetch sequence number; in-order retirement
+   means it is strictly increasing over the whole run, mispredicts,
+   fault restarts and all. *)
+let prop_rob_commit_monotone =
+  QCheck.Test.make
+    ~name:"Rob_commit fetch sequence strictly increases (program order)"
+    ~count:60 Gen_programs.arb_program (fun g ->
+      let events = Psb_obs.Events.create ~capacity:(1 lsl 18) () in
+      let _ =
+        Rob_sim.run ~events ~model:Machine_model.base ~regs:Gen_programs.regs
+          ~mem:(Gen_programs.make_mem g) g.Gen_programs.program
+      in
+      let last = ref min_int and ok = ref true in
+      Psb_obs.Events.iter events (fun _cycle kind a _b ->
+          if kind = Psb_obs.Events.Rob_commit then begin
+            if a <= !last then ok := false;
+            last := a
+          end);
+      !ok)
+
+(* Direct generator-driven differential (the fuzzer runs the same check
+   as a pipeline stage; this keeps a seed-replayable copy in tier 1). *)
+let prop_rob_matches_interp =
+  QCheck.Test.make ~name:"rob backend = scalar interpreter (arch state)"
+    ~count:60 Gen_programs.arb_program (fun g ->
+      let ref_mem = Gen_programs.make_mem g in
+      let s =
+        Interp.run ~regs:Gen_programs.regs ~mem:ref_mem g.Gen_programs.program
+      in
+      match s.Interp.outcome with
+      | Interp.Out_of_fuel -> true (* cycle fuel is not comparable *)
+      | Interp.Halted | Interp.Fatal _ ->
+          let rob_mem = Gen_programs.make_mem g in
+          let r =
+            Rob_sim.run ~model:Machine_model.base ~regs:Gen_programs.regs
+              ~mem:rob_mem g.Gen_programs.program
+          in
+          s.Interp.outcome = r.Rob_sim.outcome
+          && s.Interp.output = r.Rob_sim.output
+          && Reg.Map.equal Int.equal s.Interp.regs r.Rob_sim.regs
+          && Memory.equal ref_mem rob_mem
+          && s.Interp.faults_handled = r.Rob_sim.faults_handled
+          && Rob_sim.breakdown_total r.Rob_sim.breakdown = r.Rob_sim.cycles)
 
 let () =
   Alcotest.run "machine"
@@ -1370,5 +1544,20 @@ let () =
           Alcotest.test_case "stale form rejected" `Quick
             test_lowered_stale_form_rejected;
         ] );
-      ("hwcost", [ Alcotest.test_case "paper numbers" `Quick test_hwcost ]);
+      ( "hwcost",
+        [
+          Alcotest.test_case "paper numbers" `Quick test_hwcost;
+          Alcotest.test_case "rival ROB columns" `Quick test_hwcost_rob;
+        ] );
+      ( "rob",
+        [
+          Alcotest.test_case "suite byte-identical x machine models" `Quick
+            test_rob_suite_identical;
+          Alcotest.test_case "squashed fatal fault vanishes" `Quick
+            test_rob_squashed_fatal_fault;
+          Alcotest.test_case "speculation profile reconciles" `Quick
+            test_rob_spec_profile_reconciles;
+          Qc.to_alcotest prop_rob_commit_monotone;
+          Qc.to_alcotest prop_rob_matches_interp;
+        ] );
     ]
