@@ -352,9 +352,59 @@ module Rob_bench = struct
         t "sim/scalar" (fun () ->
             let w = Lazy.force w in
             ignore
-              (Interp.run ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
-                 w.Dsl.program));
+              (Interp.run ~record_trace:false ~regs:w.Dsl.regs
+                 ~mem:(w.Dsl.make_mem ()) w.Dsl.program));
         t "sim/vliw" (Lowered_bench.run Psb_machine.Exec_kernel.Lowered);
+      ]
+end
+
+(* ----- predecode microbenches -----
+
+   Whole-workload cost of the two scalar kernels on both scalar
+   backends: the predecoded flat walk ([Decoded.of_program], the
+   default) against the tree-walking reference, on the interpreter and
+   on the ROB machine, plus the one-time decode itself. The decoded
+   rows price the per-instruction array walk — the hot loop of every
+   profile run and every fuzz trial — so a slow-down gates like any
+   other kernel. Traces are off: these rows measure the kernel, not the
+   trace cells. *)
+module Decoded_bench = struct
+  module Rob_sim = Psb_machine.Rob_sim
+  module Machine_model = Psb_machine.Machine_model
+  module Interp = Psb_isa.Interp
+  module Decoded = Psb_isa.Decoded
+  module Scalar_kernel = Psb_isa.Scalar_kernel
+  module Suite = Psb_workloads.Suite
+  module Dsl = Psb_workloads.Dsl
+
+  let w = lazy (Suite.find "compress")
+  let decoded = lazy (Decoded.of_program (Lazy.force w).Dsl.program)
+
+  let interp kernel () =
+    let w = Lazy.force w in
+    ignore
+      (Interp.run ~record_trace:false ~kernel ~decoded:(Lazy.force decoded)
+         ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ()) w.Dsl.program)
+
+  let rob kernel () =
+    let w = Lazy.force w in
+    ignore
+      (Rob_sim.run ~kernel ~decoded:(Lazy.force decoded)
+         ~model:Machine_model.base ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ())
+         w.Dsl.program)
+
+  let tests () =
+    let open Bechamel in
+    let t name f = Test.make ~name (Staged.stage f) in
+    Test.make_grouped ~name:"decoded"
+      [
+        t "interp/decoded" (interp Scalar_kernel.Decoded);
+        t "interp/tree" (interp Scalar_kernel.Tree);
+        t "rob/decoded" (rob Scalar_kernel.Decoded);
+        t "rob/tree" (rob Scalar_kernel.Tree);
+        t "decode" (fun () ->
+            let w = Lazy.force w in
+            ignore (Decoded.of_program w.Dsl.program));
       ]
 end
 
@@ -363,7 +413,9 @@ end
    per-cycle predicate-evaluation kernels; [events] times the structured
    event log against the machine hot paths; [lowered] times whole-workload
    simulation under the lowered vs tree execution kernels; [rob] times the
-   rival reorder-buffer backend against the scalar and VLIW simulators. *)
+   rival reorder-buffer backend against the scalar and VLIW simulators;
+   [decoded] times the predecoded vs tree scalar kernels on both scalar
+   backends, plus the decode pass itself. *)
 let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
   [
     ( "experiments",
@@ -379,6 +431,7 @@ let bench_groups : (string * (unit -> Bechamel.Test.t)) list =
     ("events", Events_bench.tests);
     ("lowered", Lowered_bench.tests);
     ("rob", Rob_bench.tests);
+    ("decoded", Decoded_bench.tests);
   ]
 
 let bench_usage_error name =

@@ -193,7 +193,8 @@ let rob_cmd =
     let check (w : Dsl.t) =
       let scalar_mem = w.Dsl.make_mem () in
       let scalar =
-        Interp.run ~regs:w.Dsl.regs ~mem:scalar_mem w.Dsl.program
+        Interp.run ~record_trace:false ~regs:w.Dsl.regs ~mem:scalar_mem
+          w.Dsl.program
       in
       let rob_mem = w.Dsl.make_mem () in
       let res =
@@ -1066,7 +1067,14 @@ let fuzz_cmd =
   let module F = Psb_proptest.Fuzz in
   let module G = Psb_proptest.Gen in
   let run trials seed jobs corpus replay inject only no_shrink diamonds iters
-      nesting alias_mask fault_rate demand =
+      nesting alias_mask fault_rate demand json =
+    (* under --json the summary document owns stdout; progress and
+       counterexample listings move to stderr *)
+    let say fmt =
+      Format.fprintf
+        (if json then Format.err_formatter else Format.std_formatter)
+        fmt
+    in
     let inject =
       match inject with
       | Some s -> (
@@ -1144,8 +1152,7 @@ let fuzz_cmd =
                 Printf.sprintf "trial %d of seed %d" i seed )
           | None -> (cfg, Printf.sprintf "%d trials, seed %d" trials seed)
         in
-        Format.printf "psb fuzz: %s%s (replay: psb fuzz --seed %d -n %d%s)@."
-          descr
+        say "psb fuzz: %s%s (replay: psb fuzz --seed %d -n %d%s)@." descr
           (match inject with
           | Some b -> " [injected bug: " ^ Psb_proptest.Inject.name b ^ "]"
           | None -> "")
@@ -1157,31 +1164,39 @@ let fuzz_cmd =
           let campaign pool =
             match only with
             | Some i -> (
+                let t0 = Unix.gettimeofday () in
+                let times : (string, float) Hashtbl.t = Hashtbl.create 8 in
+                let finish counterexamples =
+                  {
+                    F.tested = 1;
+                    counterexamples;
+                    wall_s = Unix.gettimeofday () -. t0;
+                    stage_seconds =
+                      Hashtbl.fold (fun k v acc -> (k, v) :: acc) times [];
+                  }
+                in
                 let g = F.gen_trial cfg i in
-                match Psb_proptest.Diff.check ?inject g with
-                | Ok () -> { F.tested = 1; counterexamples = [] }
+                match Psb_proptest.Diff.check ?inject ~times g with
+                | Ok () -> finish []
                 | Error f ->
                     let g, f, steps =
                       if cfg.F.shrink then F.minimize cfg g f else (g, f, 0)
                     in
-                    {
-                      F.tested = 1;
-                      counterexamples =
-                        [
-                          {
-                            F.cx_trial = i;
-                            cx_stage = f.Psb_proptest.Diff.stage;
-                            cx_detail = f.Psb_proptest.Diff.detail;
-                            cx_program = g;
-                            cx_shrink_steps = steps;
-                          };
-                        ];
-                    })
+                    finish
+                      [
+                        {
+                          F.cx_trial = i;
+                          cx_stage = f.Psb_proptest.Diff.stage;
+                          cx_detail = f.Psb_proptest.Diff.detail;
+                          cx_program = g;
+                          cx_shrink_steps = steps;
+                        };
+                      ])
             | None ->
                 F.run ?pool
                   ~on_progress:(fun ~tested ~found ->
-                    Format.printf "  tested %d/%d, %d counterexample(s)@."
-                      tested cfg.F.trials found)
+                    say "  tested %d/%d, %d counterexample(s)@." tested
+                      cfg.F.trials found)
                   cfg
           in
           if jobs > 1 then
@@ -1190,21 +1205,68 @@ let fuzz_cmd =
         in
         List.iter
           (fun (cx : F.counterexample) ->
-            Format.printf "@.counterexample (trial %d, %d shrink steps) at %s:@."
+            say "@.counterexample (trial %d, %d shrink steps) at %s:@."
               cx.F.cx_trial cx.F.cx_shrink_steps cx.F.cx_stage;
-            Format.printf "  %s@." cx.F.cx_detail;
-            Format.printf "%s@." (G.pp cx.F.cx_program);
+            say "  %s@." cx.F.cx_detail;
+            say "%s@." (G.pp cx.F.cx_program);
             match corpus with
             | Some dir ->
                 let path =
                   Psb_proptest.Corpus.save ~dir ~seed ~stage:cx.F.cx_stage
                     ~detail:cx.F.cx_detail cx.F.cx_program
                 in
-                Format.printf "saved %s@." path
+                say "saved %s@." path
             | None -> ())
           outcome.F.counterexamples;
-        Format.printf "@.%d tested, %d counterexample(s)@." outcome.F.tested
-          (List.length outcome.F.counterexamples);
+        if json then begin
+          let open Psb_obs.Json in
+          let doc =
+            obj
+              [
+                ("schema", String "psb-fuzz-v1");
+                ("trials", Int cfg.F.trials);
+                ("seed", Int seed);
+                ("jobs", Int jobs);
+                ("tested", Int outcome.F.tested);
+                ("wall_s", Float outcome.F.wall_s);
+                ("trials_per_second", Float (F.trials_per_second outcome));
+                ( "stage_seconds",
+                  Obj
+                    (List.map
+                       (fun (k, v) -> (k, Float v))
+                       outcome.F.stage_seconds) );
+                ( "counterexamples",
+                  List
+                    (List.map
+                       (fun (cx : F.counterexample) ->
+                         obj
+                           [
+                             ("trial", Int cx.F.cx_trial);
+                             ("stage", String cx.F.cx_stage);
+                             ("detail", String cx.F.cx_detail);
+                             ("shrink_steps", Int cx.F.cx_shrink_steps);
+                             ("program", String (G.pp cx.F.cx_program));
+                           ])
+                       outcome.F.counterexamples) );
+              ]
+          in
+          print_endline (to_string doc)
+        end
+        else begin
+          Format.printf "@.%d tested, %d counterexample(s) in %.2fs (%.1f \
+                         trials/s)@."
+            outcome.F.tested
+            (List.length outcome.F.counterexamples)
+            outcome.F.wall_s
+            (F.trials_per_second outcome);
+          if outcome.F.stage_seconds <> [] then begin
+            Format.printf "per-stage cumulative seconds (all trials%s):@."
+              (if jobs > 1 then ", summed across domains" else "");
+            List.iter
+              (fun (k, v) -> Format.printf "  %-8s %8.3f@." k v)
+              outcome.F.stage_seconds
+          end
+        end;
         if outcome.F.counterexamples <> [] then exit 1
   in
   let trials =
@@ -1295,6 +1357,15 @@ let fuzz_cmd =
       & opt (enum [ ("on", "on"); ("off", "off"); ("random", "random") ]) "random"
       & info [ "demand" ] ~docv:"MODE" ~doc:"Demand-paged memory: on, off, random.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the campaign summary (tested, wall-clock, trials/s, \
+             per-stage cumulative seconds, counterexamples) as a JSON \
+             document on stdout; progress moves to stderr.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -1305,7 +1376,7 @@ let fuzz_cmd =
     Term.(
       const run $ trials $ seed $ jobs_arg $ corpus $ replay $ inject $ only
       $ no_shrink $ diamonds $ iters $ nesting $ alias_mask $ fault_rate
-      $ demand)
+      $ demand $ json)
 
 let () =
   let doc = "Unconstrained speculative execution with predicated state buffering" in

@@ -31,9 +31,11 @@ let add_machine b (m : Machine_model.t) =
 
 (* Bumped whenever the [Driver.compiled] representation changes shape
    (v2: pcode slots carry compiled predicate masks; v3: compiles carry
-   the lowered structure-of-arrays region form), so a process mixing
-   library versions through a shared cache can never alias keys. *)
-let format_version = 3
+   the lowered structure-of-arrays region form; v4: compiles carry the
+   predecoded scalar form for the interpreter and ROB kernels), so a
+   process mixing library versions through a shared cache can never
+   alias keys. *)
+let format_version = 4
 
 let key ~model ~machine ~single_shadow ~avoid_commit_deps ~verify ~profile
     program =

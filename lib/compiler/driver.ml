@@ -14,6 +14,7 @@ type compiled = {
   schedules : Sched.t Label.Map.t;
   pcode : Pcode.t option;
   lowered : Psb_machine.Lowered.t option;
+  decoded : Decoded.t;
 }
 
 let profile_of program ~regs ~mem =
@@ -95,6 +96,9 @@ let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~verify
         timed "lower" (fun () -> Psb_machine.Lowered.compile ~machine code))
       pcode
   in
+  (* Predecode the scalar source for the baseline interpreter and the ROB
+     rival, for the same reason: every cache hit skips the decode. *)
+  let decoded = timed "decode" (fun () -> Decoded.of_program program) in
   (match metrics with
   | None -> ()
   | Some m ->
@@ -111,7 +115,7 @@ let compile_uncached ?metrics ~single_shadow ~avoid_commit_deps ~verify
               (float_of_int (Array.length s.Sched.issue)
               /. float_of_int s.Sched.length))
         schedules);
-  { model; machine; units; schedules; pcode; lowered }
+  { model; machine; units; schedules; pcode; lowered; decoded }
 
 let compile ?metrics ?cache ?(single_shadow = true) ?(avoid_commit_deps = false)
     ?(verify = true) ~model ~machine ~profile program =

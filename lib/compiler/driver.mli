@@ -18,6 +18,14 @@ type compiled = {
           built once per compile (and so shared by every cache hit). Always
           corresponds to [pcode] exactly — a caller substituting a different
           pcode (e.g. injecting a miscompile) must drop this field. *)
+  decoded : Decoded.t;
+      (** The scalar source predecoded to the flat form the default
+          interpreter and ROB kernels walk ({!Psb_isa.Decoded}), built
+          once per compile. Its [source] is the exact program value this
+          compile saw; on a cache hit under a structurally-equal but
+          physically-distinct program, run against
+          [decoded.Decoded.source] (the stale-form check is physical,
+          like the lowered form's). *)
 }
 
 val profile_of : Program.t -> regs:(Reg.t * int) list -> mem:Memory.t ->

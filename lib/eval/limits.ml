@@ -84,7 +84,12 @@ let issue ~control_barriers ?(value_predict = false) st op addr =
 (* Replay the dynamic block trace with a tiny fault-tolerant evaluator
    (addresses are needed for the disambiguation oracle). *)
 let analyze (w : Dsl.t) =
-  let res = Interp.run ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ()) w.Dsl.program in
+  (* decode once: the traced reference run and the trace replay below
+     both walk the flat form instead of re-finding blocks per label *)
+  let decoded = Decoded.of_program w.Dsl.program in
+  let res =
+    Interp.run ~decoded ~regs:w.Dsl.regs ~mem:(w.Dsl.make_mem ()) w.Dsl.program
+  in
   let block_limited = fresh_state ()
   and oracle = fresh_state ()
   and value = fresh_state () in
@@ -140,8 +145,11 @@ let analyze (w : Dsl.t) =
   in
   List.iter
     (fun label ->
-      let b = Program.find w.Dsl.program label in
-      List.iter step b.Program.body;
+      let bi = Decoded.block_index decoded label in
+      let hi = decoded.Decoded.op_bounds.(bi + 1) in
+      for i = decoded.Decoded.op_bounds.(bi) to hi - 1 do
+        step decoded.Decoded.ops.(i)
+      done;
       (* the block's branch resolves here: downstream instructions of the
          block-limited regime cannot start earlier *)
       block_limited.barrier <- !block_end)

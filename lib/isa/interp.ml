@@ -80,8 +80,9 @@ let charge env op =
 
 let default_fuel = 30_000_000
 
-let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ?on_block ~regs
-    ~mem program =
+let run ?(fuel = default_fuel) ?(record_trace = true)
+    ?(kernel = Scalar_kernel.default) ?decoded ?observer ?on_block ~regs ~mem
+    program =
   let nregs = max 1 (Program.max_reg program + 1) in
   let nregs =
     List.fold_left (fun m (r, _) -> max m (Reg.index r + 1)) nregs regs
@@ -118,6 +119,7 @@ let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ?on_block ~regs
       faults_handled = env.faults_handled;
     }
   in
+  (* ----- tree kernel: walk the block lists, match the variants ----- *)
   let rec run_block label =
     if env.dyn_instrs > fuel then finish Out_of_fuel
     else begin
@@ -149,7 +151,123 @@ let run ?(fuel = default_fuel) ?(record_trace = true) ?observer ?on_block ~regs
           run_block (if reg_value env src <> 0 then if_true else if_false)
     end
   in
-  try run_block program.Program.entry with Stop f -> finish (Fatal f)
+  (* ----- decoded kernel: walk the flat arrays -----
+     Cycle accounting, trace/observer/hook ordering, fuel-check position
+     and fault semantics mirror the tree path exactly (the differential
+     stack pins the two kernels identical on every fuzz trial). *)
+  let run_decoded (d : Decoded.t) =
+    let regs = env.regs and conds = env.conds and written = env.written in
+    let kind = d.Decoded.kind
+    and dst = d.Decoded.dst
+    and aux = d.Decoded.aux
+    and alu = d.Decoded.alu
+    and cmp = d.Decoded.cmp
+    and s1_reg = d.Decoded.s1_reg
+    and s1_imm = d.Decoded.s1_imm
+    and s2_reg = d.Decoded.s2_reg
+    and s2_imm = d.Decoded.s2_imm
+    and op_bounds = d.Decoded.op_bounds
+    and labels = d.Decoded.labels in
+    (* last-load destination register index; -1 = none *)
+    let lld = ref (-1) in
+    let s1 i = (let r = s1_reg.(i) in if r >= 0 then regs.(r) else s1_imm.(i))
+    and s2 i = (let r = s2_reg.(i) in if r >= 0 then regs.(r) else s2_imm.(i)) in
+    let rec mem_read addr =
+      match Memory.read env.mem addr with
+      | v -> v
+      | exception Memory.Fault f ->
+          if Memory.is_fatal f then raise (Stop (Fault.Mem f))
+          else begin
+            assert (Memory.handle_fault env.mem f);
+            env.faults_handled <- env.faults_handled + 1;
+            mem_read addr
+          end
+    in
+    let rec mem_write addr v =
+      match Memory.write env.mem addr v with
+      | () -> ()
+      | exception Memory.Fault f ->
+          if Memory.is_fatal f then raise (Stop (Fault.Mem f))
+          else begin
+            assert (Memory.handle_fault env.mem f);
+            env.faults_handled <- env.faults_handled + 1;
+            mem_write addr v
+          end
+    in
+    let step i =
+      let k = kind.(i) in
+      (* charge: 1 cycle, +1 when this op uses the last load's dst *)
+      env.dyn_instrs <- env.dyn_instrs + 1;
+      env.cycles <- env.cycles + 1;
+      let l = !lld in
+      if l >= 0 && (s1_reg.(i) = l || s2_reg.(i) = l) then
+        env.cycles <- env.cycles + 1;
+      lld := (if k = 2 (* kload *) then dst.(i) else -1);
+      (match observer with
+      | None -> ()
+      | Some f ->
+          let addr =
+            if k = 2 || k = 3 then Some (regs.(s1_reg.(i)) + aux.(i)) else None
+          in
+          f d.Decoded.ops.(i) addr);
+      match k with
+      | 0 (* kalu *) ->
+          let v =
+            try Opcode.eval_alu alu.(i) (s1 i) (s2 i)
+            with Opcode.Arithmetic_fault m -> raise (Stop (Fault.Arith m))
+          in
+          regs.(dst.(i)) <- v;
+          written.(dst.(i)) <- true
+      | 1 (* kmov *) ->
+          regs.(dst.(i)) <- s1 i;
+          written.(dst.(i)) <- true
+      | 2 (* kload *) ->
+          regs.(dst.(i)) <- mem_read (regs.(s1_reg.(i)) + aux.(i));
+          written.(dst.(i)) <- true
+      | 3 (* kstore *) -> mem_write (regs.(s1_reg.(i)) + aux.(i)) regs.(s2_reg.(i))
+      | 4 (* kcmp *) ->
+          regs.(dst.(i)) <- (if Opcode.eval_cmp cmp.(i) (s1 i) (s2 i) then 1 else 0);
+          written.(dst.(i)) <- true
+      | 5 (* ksetc *) -> conds.(dst.(i)) <- Opcode.eval_cmp cmp.(i) (s1 i) (s2 i)
+      | 6 (* kout *) -> env.output_rev <- s1 i :: env.output_rev
+      | _ (* knop *) -> ()
+    in
+    let rec run_block bi =
+      if env.dyn_instrs > fuel then finish Out_of_fuel
+      else if bi < 0 then raise Not_found (* parity with the tree path's find *)
+      else begin
+        if record_trace then env.trace_rev <- labels.(bi) :: env.trace_rev;
+        (match on_block with None -> () | Some f -> f env.cycles labels.(bi));
+        let hi = op_bounds.(bi + 1) in
+        for i = op_bounds.(bi) to hi - 1 do
+          step i
+        done;
+        env.dyn_instrs <- env.dyn_instrs + 1;
+        env.cycles <- env.cycles + 1;
+        lld := -1;
+        let tk = d.Decoded.term_kind.(bi) in
+        if tk = 0 (* thalt *) then finish Halted
+        else if tk = 1 (* tjmp *) then run_block d.Decoded.term_t.(bi)
+        else
+          run_block
+            (if regs.(d.Decoded.term_src.(bi)) <> 0 then d.Decoded.term_t.(bi)
+             else d.Decoded.term_f.(bi))
+      end
+    in
+    run_block d.Decoded.entry
+  in
+  (match decoded with
+  | Some d -> Decoded.check_source d program
+  | None -> ());
+  try
+    match kernel with
+    | Scalar_kernel.Tree -> run_block program.Program.entry
+    | Scalar_kernel.Decoded ->
+        let d =
+          match decoded with Some d -> d | None -> Decoded.of_program program
+        in
+        run_decoded d
+  with Stop f -> finish (Fatal f)
 
 let equivalent a b =
   a.outcome = b.outcome && a.output = b.output && Reg.Map.equal Int.equal a.regs b.regs

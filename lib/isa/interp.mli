@@ -24,6 +24,8 @@ type result = {
 val run :
   ?fuel:int ->
   ?record_trace:bool ->
+  ?kernel:Scalar_kernel.mode ->
+  ?decoded:Decoded.t ->
   ?observer:(Instr.op -> int option -> unit) ->
   ?on_block:(int -> Label.t -> unit) ->
   regs:(Reg.t * int) list ->
@@ -36,7 +38,17 @@ val run :
     address it touches, if any — the hook behind trace-driven analyses
     such as the ILP limit study. [on_block] is called with the current
     cycle count on every block entry (regardless of [record_trace]) —
-    the hook behind per-block timelines. [mem] is mutated in place. *)
+    the hook behind per-block timelines. [mem] is mutated in place.
+
+    [kernel] selects the per-instruction engine ({!Scalar_kernel}):
+    [Decoded] — the default — walks the flat {!Decoded} form, [Tree]
+    re-walks the block lists and variant trees; the two are pinned
+    identical (cycles, trace, hooks, faults) by the differential tests.
+    [decoded] supplies a prebuilt form so repeated runs of one program
+    (fuzz stages, limit regimes) decode once; it must have been built
+    from exactly this program.
+    @raise Invalid_argument if [decoded] was decoded from a different
+    program value ({!Decoded.check_source}). *)
 
 val equivalent : result -> result -> bool
 (** Same outcome, output and final registers — used to check that compiled

@@ -1,0 +1,31 @@
+module type SPEC = sig
+  type mode
+
+  val name : string
+  val values : (string * mode) list
+  val fallback : mode
+end
+
+module Make (X : SPEC) = struct
+  let of_string s = List.assoc_opt s X.values
+
+  let to_string m =
+    match List.find_opt (fun (_, v) -> v = m) X.values with
+    | Some (s, _) -> s
+    | None -> assert false (* every mode is listed in [values] *)
+
+  let expected = String.concat "|" (List.map fst X.values)
+
+  let default =
+    match Sys.getenv_opt X.name with
+    | None -> X.fallback
+    | Some s -> (
+        match of_string (String.lowercase_ascii (String.trim s)) with
+        | Some m -> m
+        | None ->
+            Printf.eprintf "psb: ignoring unknown %s=%s (expected %s)\n%!"
+              X.name s expected;
+            X.fallback)
+
+  let pp ppf m = Format.pp_print_string ppf (to_string m)
+end

@@ -1,0 +1,36 @@
+(** Shared boilerplate for two-valued kernel-mode toggles.
+
+    Every fast-path/reference-path pair in the codebase exposes the same
+    tiny module: a [mode] variant, [of_string]/[to_string], a [default]
+    read once at startup from an environment variable (with a warning on
+    unknown values), and a [pp]. {!Make} generates all of that from the
+    variable name and the accepted spellings, so the parsing and the
+    warning format can never drift between kernels (the
+    [Pred_kernel]/[Exec_kernel]/[Scalar_kernel] axes all instantiate
+    it). *)
+
+module type SPEC = sig
+  type mode
+
+  val name : string
+  (** Environment variable consulted by [default], e.g.
+      ["PSB_EXEC_KERNEL"]. *)
+
+  val values : (string * mode) list
+  (** Accepted spellings (lowercase) and their modes; must cover every
+      mode, first spelling per mode is canonical for [to_string]. *)
+
+  val fallback : mode
+  (** The mode used when the variable is unset or unrecognised. *)
+end
+
+module Make (X : SPEC) : sig
+  val default : X.mode
+  (** [X.fallback], unless the environment overrides it. Evaluated once
+      at module initialisation; unknown values warn on stderr and fall
+      back. *)
+
+  val of_string : string -> X.mode option
+  val to_string : X.mode -> string
+  val pp : Format.formatter -> X.mode -> unit
+end

@@ -1,0 +1,9 @@
+type mode = Decoded | Tree
+
+include Kernel_mode.Make (struct
+  type nonrec mode = mode
+
+  let name = "PSB_SCALAR_KERNEL"
+  let values = [ ("decoded", Decoded); ("tree", Tree) ]
+  let fallback = Decoded
+end)

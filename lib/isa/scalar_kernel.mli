@@ -1,0 +1,26 @@
+(** Which per-instruction kernel the scalar machines run.
+
+    [Decoded] — the default — walks the flat structure-of-arrays form
+    produced by {!Decoded.of_program}: dense int opcode tags,
+    preresolved operand register indices and immediates, branch targets
+    as block indices, decoded once per program before execution starts.
+    The per-instruction step in {!Interp} (and the dispatch/complete
+    loops of the ROB backend) is plain [int]-array reads — no variant
+    matching, no list allocation, no [Label] hashing.
+
+    [Tree] is the reference path: every dynamic instruction re-walks
+    the {!Program.block} body lists and pattern-matches the {!Instr.op}
+    variants directly. It exists for differential testing and for the
+    [PSB_SCALAR_KERNEL=tree] environment toggle (read once at startup
+    into {!default}), exactly mirroring the [Pred_kernel] and
+    [Exec_kernel] precedents; both kernels must produce identical
+    results, cycle counts, traces and event streams. *)
+
+type mode = Decoded | Tree
+
+val default : mode
+(** [Decoded], unless the environment sets [PSB_SCALAR_KERNEL=tree]. *)
+
+val of_string : string -> mode option
+val to_string : mode -> string
+val pp : Format.formatter -> mode -> unit

@@ -1,22 +1,9 @@
 type mode = Lowered | Tree
 
-let of_string = function
-  | "lowered" -> Some Lowered
-  | "tree" -> Some Tree
-  | _ -> None
+include Psb_isa.Kernel_mode.Make (struct
+  type nonrec mode = mode
 
-let to_string = function Lowered -> "lowered" | Tree -> "tree"
-
-let default =
-  match Sys.getenv_opt "PSB_EXEC_KERNEL" with
-  | None -> Lowered
-  | Some s -> (
-      match of_string (String.lowercase_ascii (String.trim s)) with
-      | Some m -> m
-      | None ->
-          Printf.eprintf
-            "psb: ignoring unknown PSB_EXEC_KERNEL=%s (expected lowered|tree)\n%!"
-            s;
-          Lowered)
-
-let pp ppf m = Format.pp_print_string ppf (to_string m)
+  let name = "PSB_EXEC_KERNEL"
+  let values = [ ("lowered", Lowered); ("tree", Tree) ]
+  let fallback = Lowered
+end)

@@ -1,22 +1,9 @@
 type mode = Mask | Map
 
-let of_string = function
-  | "mask" -> Some Mask
-  | "map" -> Some Map
-  | _ -> None
+include Psb_isa.Kernel_mode.Make (struct
+  type nonrec mode = mode
 
-let to_string = function Mask -> "mask" | Map -> "map"
-
-let default =
-  match Sys.getenv_opt "PSB_PRED_KERNEL" with
-  | None -> Mask
-  | Some s -> (
-      match of_string (String.lowercase_ascii (String.trim s)) with
-      | Some m -> m
-      | None ->
-          Printf.eprintf
-            "psb: ignoring unknown PSB_PRED_KERNEL=%s (expected mask|map)\n%!"
-            s;
-          Mask)
-
-let pp ppf m = Format.pp_print_string ppf (to_string m)
+  let name = "PSB_PRED_KERNEL"
+  let values = [ ("mask", Mask); ("map", Map) ]
+  let fallback = Mask
+end)

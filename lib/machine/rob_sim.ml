@@ -65,18 +65,30 @@ type result = {
    completion broadcasts. *)
 type src = Ready of int | Wait of int
 
-type payload =
-  | Pop of Instr.op
-  | Pbranch of { if_true : Label.t; if_false : Label.t; predicted : bool }
-
 type estate = Waiting | Exec of int | Done
 
+(* Entries are predecoded at dispatch into the same dense class tags the
+   {!Psb_isa.Decoded} form uses ([kind] is a [Decoded.k*] value, or
+   [branch_class]), so the issue/complete/commit loops dispatch on ints —
+   no [Instr.op] variant walks on the per-cycle paths. The decoded
+   frontend copies the ints straight out of the flat arrays; the tree
+   reference frontend derives them from the variant at fetch time. *)
 type entry = {
   seq : int;  (* fetch sequence number: program order, wrong paths included *)
   visit : int;  (* dynamic block-visit id, for commit-ordered region events *)
   label : Label.t;
+  blk : int;  (* decoded block index; -1 under the tree frontend *)
   idx : int;  (* position in the block body, the fault-restart point *)
-  payload : payload;
+  kind : int;
+  dst : int;  (* register index, condition index for setc; -1 *)
+  aux : int;  (* load/store offset *)
+  alu : Opcode.alu;
+  cmp : Opcode.cmp;
+  if_true : Label.t;  (* branch targets, tree frontend *)
+  if_false : Label.t;
+  t_true : int;  (* branch targets as block indices, decoded frontend *)
+  t_false : int;
+  predicted : bool;
   srcs : src array;
   mutable state : estate;
   mutable result : int;
@@ -84,31 +96,39 @@ type entry = {
   mutable fault : Fault.t option;  (* buffered, raised only at commit *)
 }
 
-(* Cached array form of a basic block, so per-cycle fetch never walks
-   lists. *)
+(* Cached array form of a basic block, so the tree frontend's per-cycle
+   fetch never walks lists. *)
 type fblock = { body : Instr.op array; term : Instr.control }
 
 let op_classes =
   [| "alu"; "mov"; "load"; "store"; "cmp"; "setc"; "out"; "nop"; "branch" |]
 
-let class_index = function
-  | Instr.Alu _ -> 0
-  | Instr.Mov _ -> 1
-  | Instr.Load _ -> 2
-  | Instr.Store _ -> 3
-  | Instr.Cmp _ -> 4
-  | Instr.Setc _ -> 5
-  | Instr.Out _ -> 6
-  | Instr.Nop -> 7
+let branch_class = Decoded.kbranch
 
-let branch_class = 8
+(* kinds that write an architectural register: alu, mov, load, cmp *)
+let has_reg_dst k =
+  k = Decoded.kalu || k = Decoded.kmov || k = Decoded.kload || k = Decoded.kcmp
+
 let default_fuel = 60_000_000
 
 exception Abort of Fault.t
 exception Halted_exn
 exception Fuel_exhausted
 
-let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
+let run ?(fuel = default_fuel) ?events ?metrics
+    ?(kernel = Scalar_kernel.default) ?decoded ~model ~regs ~mem program =
+  (match decoded with
+  | Some d -> Decoded.check_source d program
+  | None -> ());
+  let dform =
+    match kernel with
+    | Scalar_kernel.Tree -> None
+    | Scalar_kernel.Decoded ->
+        Some
+          (match decoded with
+          | Some d -> d
+          | None -> Decoded.of_program program)
+  in
   let nregs = max 1 (Program.max_reg program + 1) in
   let nregs =
     List.fold_left (fun m (r, _) -> max m (Reg.index r + 1)) nregs regs
@@ -139,7 +159,9 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
   (* rename map: architectural register -> slot of the youngest live
      producer, -1 when the architectural file holds the value *)
   let rmap = Array.make nregs (-1) in
-  (* fetch state *)
+  (* fetch state; [cur_label] is kept in sync by both frontends (entry
+     labels feed the commit-ordered region events), [cur_blk] only by
+     the decoded one *)
   let blocks : (string, fblock) Hashtbl.t = Hashtbl.create 16 in
   let fblock label =
     let key = Label.name label in
@@ -154,15 +176,25 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
         fb
   in
   let cur_label = ref program.Program.entry in
+  let cur_blk =
+    ref (match dform with Some d -> d.Decoded.entry | None -> -1)
+  in
   let cur_idx = ref 0 in
   let visit_counter = ref 0 in
   let cur_visit = ref 0 in
   let fetch_halted = ref false in
   let redirect_stall = ref 0 in
   let seq_counter = ref 0 in
-  (* 2-bit saturating counter per branch block, initially weakly taken *)
+  (* 2-bit saturating counter per branch block, initially weakly taken:
+     a string-keyed table under the tree frontend, a flat int array
+     indexed by block under the decoded one (same state machine) *)
   let pred_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let predict label =
+  let pred_arr =
+    match dform with
+    | Some d -> Array.make (max 1 d.Decoded.nblocks) 2
+    | None -> [||]
+  in
+  let predict_label label =
     let key = Label.name label in
     match Hashtbl.find_opt pred_tbl key with
     | Some c -> c >= 2
@@ -170,13 +202,18 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
         Hashtbl.add pred_tbl key 2;
         true
   in
-  let train label taken =
-    let key = Label.name label in
-    let c =
-      match Hashtbl.find_opt pred_tbl key with Some c -> c | None -> 2
-    in
-    Hashtbl.replace pred_tbl key
-      (if taken then min 3 (c + 1) else max 0 (c - 1))
+  let predict_blk bi = pred_arr.(bi) >= 2 in
+  let train (e : entry) taken =
+    if e.blk >= 0 then
+      let c = pred_arr.(e.blk) in
+      pred_arr.(e.blk) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+    else
+      let key = Label.name e.label in
+      let c =
+        match Hashtbl.find_opt pred_tbl key with Some c -> c | None -> 2
+      in
+      Hashtbl.replace pred_tbl key
+        (if taken then min 3 (c + 1) else max 0 (c - 1))
   in
   (* statistics *)
   let fetched = ref 0 in
@@ -220,40 +257,40 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
       metrics
   in
   (* ----- dispatch ----- *)
+  let capture_reg ri =
+    let s = rmap.(ri) in
+    if s < 0 then Ready arch.(ri)
+    else
+      match buf.(s) with
+      | Some p when p.state = Done -> Ready p.result
+      | Some _ -> Wait s
+      | None -> Ready arch.(ri)
+  in
   let capture (o : Operand.t) =
     match o with
     | Operand.Imm i -> Ready i
-    | Operand.Reg r -> (
-        let ri = Reg.index r in
-        let s = rmap.(ri) in
-        if s < 0 then Ready arch.(ri)
-        else
-          match buf.(s) with
-          | Some p when p.state = Done -> Ready p.result
-          | Some _ -> Wait s
-          | None -> Ready arch.(ri))
+    | Operand.Reg r -> capture_reg (Reg.index r)
   in
-  let op_srcs (op : Instr.op) =
-    match op with
-    | Instr.Alu { a; b; _ } | Instr.Cmp { a; b; _ } | Instr.Setc { a; b; _ }
-      ->
-        [| capture a; capture b |]
-    | Instr.Mov { src; _ } -> [| capture src |]
-    | Instr.Load { base; _ } -> [| capture (Operand.Reg base) |]
-    | Instr.Store { src; base; _ } ->
-        [| capture (Operand.Reg base); capture (Operand.Reg src) |]
-    | Instr.Out o -> [| capture o |]
-    | Instr.Nop -> [||]
-  in
-  let alloc ~idx ~payload ~srcs =
+  let push ~blk ~idx ~kind ~dst ~aux ~alu ~cmp ~if_true ~if_false ~t_true
+      ~t_false ~predicted ~srcs =
     let slot = (!head + !count) mod size in
     let e =
       {
         seq = !seq_counter;
         visit = !cur_visit;
         label = !cur_label;
+        blk;
         idx;
-        payload;
+        kind;
+        dst;
+        aux;
+        alu;
+        cmp;
+        if_true;
+        if_false;
+        t_true;
+        t_false;
+        predicted;
         srcs;
         state = Waiting;
         result = 0;
@@ -265,62 +302,165 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
     buf.(slot) <- Some e;
     incr count;
     incr fetched;
-    (match payload with
-    | Pop op -> (
-        match Instr.defs op with
-        | [ r ] -> rmap.(Reg.index r) <- slot
-        | _ -> ())
-    | Pbranch _ -> ())
+    if has_reg_dst kind then rmap.(dst) <- slot
+  in
+  let push_op ~blk ~idx ~kind ~dst ~aux ~alu ~cmp ~srcs =
+    push ~blk ~idx ~kind ~dst ~aux ~alu ~cmp ~if_true:!cur_label
+      ~if_false:!cur_label ~t_true:(-1) ~t_false:(-1) ~predicted:false ~srcs
+  in
+  (* the tree frontend decodes each fetched variant into the flat entry
+     fields; the decoded frontend below copies them from the arrays *)
+  let push_tree_op ~idx (op : Instr.op) =
+    match op with
+    | Instr.Alu { op = aop; dst; a; b } ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.kalu ~dst:(Reg.index dst) ~aux:0
+          ~alu:aop ~cmp:Opcode.Eq ~srcs:[| capture a; capture b |]
+    | Instr.Mov { dst; src } ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.kmov ~dst:(Reg.index dst) ~aux:0
+          ~alu:Opcode.Add ~cmp:Opcode.Eq ~srcs:[| capture src |]
+    | Instr.Load { dst; base; off } ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.kload ~dst:(Reg.index dst)
+          ~aux:off ~alu:Opcode.Add ~cmp:Opcode.Eq
+          ~srcs:[| capture_reg (Reg.index base) |]
+    | Instr.Store { src; base; off } ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.kstore ~dst:(-1) ~aux:off
+          ~alu:Opcode.Add ~cmp:Opcode.Eq
+          ~srcs:[| capture_reg (Reg.index base); capture_reg (Reg.index src) |]
+    | Instr.Cmp { op = cop; dst; a; b } ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.kcmp ~dst:(Reg.index dst) ~aux:0
+          ~alu:Opcode.Add ~cmp:cop ~srcs:[| capture a; capture b |]
+    | Instr.Setc { dst; op = cop; a; b } ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.ksetc ~dst:(Cond.index dst)
+          ~aux:0 ~alu:Opcode.Add ~cmp:cop ~srcs:[| capture a; capture b |]
+    | Instr.Out o ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.kout ~dst:(-1) ~aux:0
+          ~alu:Opcode.Add ~cmp:Opcode.Eq ~srcs:[| capture o |]
+    | Instr.Nop ->
+        push_op ~blk:(-1) ~idx ~kind:Decoded.knop ~dst:(-1) ~aux:0
+          ~alu:Opcode.Add ~cmp:Opcode.Eq ~srcs:[||]
+  in
+  let next_visit () =
+    incr visit_counter;
+    cur_visit := !visit_counter;
+    cur_idx := 0
+  in
+  let fetch_tree () =
+    let budget = ref issue_width in
+    let stop = ref false in
+    let noted_full = ref false in
+    let full () =
+      if not !noted_full then begin
+        noted_full := true;
+        incr full_stalls
+      end;
+      stop := true
+    in
+    while (not !stop) && (not !fetch_halted) && !budget > 0 do
+      let fb = fblock !cur_label in
+      if !cur_idx < Array.length fb.body then
+        if !count >= size then full ()
+        else begin
+          push_tree_op ~idx:!cur_idx fb.body.(!cur_idx);
+          incr cur_idx;
+          decr budget
+        end
+      else
+        match fb.term with
+        | Instr.Halt -> fetch_halted := true
+        | Instr.Jmp l ->
+            (* free, but charged a slot so a pure-Jmp cycle cannot spin
+               forever inside one machine cycle *)
+            decr budget;
+            cur_label := l;
+            next_visit ()
+        | Instr.Br { src; if_true; if_false } ->
+            if !count >= size then full ()
+            else begin
+              let predicted = predict_label !cur_label in
+              push ~blk:(-1) ~idx:(Array.length fb.body) ~kind:branch_class
+                ~dst:(-1) ~aux:0 ~alu:Opcode.Add ~cmp:Opcode.Eq ~if_true
+                ~if_false ~t_true:(-1) ~t_false:(-1) ~predicted
+                ~srcs:[| capture_reg (Reg.index src) |];
+              decr budget;
+              cur_label := (if predicted then if_true else if_false);
+              next_visit ()
+            end
+    done
+  in
+  let fetch_decoded (d : Decoded.t) =
+    let goto t =
+      cur_blk := t;
+      if t >= 0 then cur_label := d.Decoded.labels.(t);
+      next_visit ()
+    in
+    let cap1 i =
+      let r = d.Decoded.s1_reg.(i) in
+      if r >= 0 then capture_reg r else Ready d.Decoded.s1_imm.(i)
+    in
+    let cap2 i =
+      let r = d.Decoded.s2_reg.(i) in
+      if r >= 0 then capture_reg r else Ready d.Decoded.s2_imm.(i)
+    in
+    let budget = ref issue_width in
+    let stop = ref false in
+    let noted_full = ref false in
+    let full () =
+      if not !noted_full then begin
+        noted_full := true;
+        incr full_stalls
+      end;
+      stop := true
+    in
+    while (not !stop) && (not !fetch_halted) && !budget > 0 do
+      let bi = !cur_blk in
+      if bi < 0 then raise Not_found (* parity with the tree path's find *);
+      let lo = d.Decoded.op_bounds.(bi) in
+      let len = d.Decoded.op_bounds.(bi + 1) - lo in
+      if !cur_idx < len then
+        if !count >= size then full ()
+        else begin
+          let i = lo + !cur_idx in
+          let k = d.Decoded.kind.(i) in
+          let srcs =
+            if k = Decoded.knop then [||]
+            else if k = Decoded.kmov || k = Decoded.kload || k = Decoded.kout
+            then [| cap1 i |]
+            else [| cap1 i; cap2 i |]
+          in
+          push_op ~blk:bi ~idx:!cur_idx ~kind:k ~dst:d.Decoded.dst.(i)
+            ~aux:d.Decoded.aux.(i) ~alu:d.Decoded.alu.(i)
+            ~cmp:d.Decoded.cmp.(i) ~srcs;
+          incr cur_idx;
+          decr budget
+        end
+      else begin
+        let tk = d.Decoded.term_kind.(bi) in
+        if tk = Decoded.thalt then fetch_halted := true
+        else if tk = Decoded.tjmp then begin
+          decr budget;
+          goto d.Decoded.term_t.(bi)
+        end
+        else if !count >= size then full ()
+        else begin
+          let predicted = predict_blk bi in
+          let tt = d.Decoded.term_t.(bi) and tf = d.Decoded.term_f.(bi) in
+          let lbl t = if t >= 0 then d.Decoded.labels.(t) else !cur_label in
+          push ~blk:bi ~idx:len ~kind:branch_class ~dst:(-1) ~aux:0
+            ~alu:Opcode.Add ~cmp:Opcode.Eq ~if_true:(lbl tt)
+            ~if_false:(lbl tf) ~t_true:tt ~t_false:tf ~predicted
+            ~srcs:[| capture_reg d.Decoded.term_src.(bi) |];
+          decr budget;
+          goto (if predicted then tt else tf)
+        end
+      end
+    done
   in
   let fetch_cycle () =
     if !redirect_stall > 0 then decr redirect_stall
-    else begin
-      let budget = ref issue_width in
-      let stop = ref false in
-      let noted_full = ref false in
-      let full () =
-        if not !noted_full then begin
-          noted_full := true;
-          incr full_stalls
-        end;
-        stop := true
-      in
-      while (not !stop) && (not !fetch_halted) && !budget > 0 do
-        let fb = fblock !cur_label in
-        if !cur_idx < Array.length fb.body then
-          if !count >= size then full ()
-          else begin
-            let op = fb.body.(!cur_idx) in
-            alloc ~idx:!cur_idx ~payload:(Pop op) ~srcs:(op_srcs op);
-            incr cur_idx;
-            decr budget
-          end
-        else
-          match fb.term with
-          | Instr.Halt -> fetch_halted := true
-          | Instr.Jmp l ->
-              (* free, but charged a slot so a pure-Jmp cycle cannot spin
-                 forever inside one machine cycle *)
-              decr budget;
-              cur_label := l;
-              incr visit_counter;
-              cur_visit := !visit_counter;
-              cur_idx := 0
-          | Instr.Br { src; if_true; if_false } ->
-              if !count >= size then full ()
-              else begin
-                let predicted = predict !cur_label in
-                alloc ~idx:(Array.length fb.body)
-                  ~payload:(Pbranch { if_true; if_false; predicted })
-                  ~srcs:[| capture (Operand.Reg src) |];
-                decr budget;
-                cur_label := (if predicted then if_true else if_false);
-                incr visit_counter;
-                cur_visit := !visit_counter;
-                cur_idx := 0
-              end
-      done
-    end
+    else
+      match dform with
+      | None -> fetch_tree ()
+      | Some d -> fetch_decoded d
   in
   (* ----- completion ----- *)
   let broadcast slot v =
@@ -345,14 +485,13 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
       if j < 0 then None
       else
         let p = entry_at j in
-        match p.payload with
-        | Pop (Instr.Store _) when p.state = Done && p.addr = addr ->
-            Some p.result
-        | _ -> scan (j - 1)
+        if p.kind = Decoded.kstore && p.state = Done && p.addr = addr then
+          Some p.result
+        else scan (j - 1)
     in
     scan (pos - 1)
   in
-  let mispredict_flush pos ~target =
+  let mispredict_flush pos ~label ~blk =
     incr mispredicts;
     for k = pos + 1 to !count - 1 do
       let e = entry_at k in
@@ -363,17 +502,11 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
     Array.fill rmap 0 nregs (-1);
     for k = 0 to pos do
       let e = entry_at k in
-      match e.payload with
-      | Pop op -> (
-          match Instr.defs op with
-          | [ r ] -> rmap.(Reg.index r) <- slot_at k
-          | _ -> ())
-      | Pbranch _ -> ()
+      if has_reg_dst e.kind then rmap.(e.dst) <- slot_at k
     done;
-    cur_label := target;
-    incr visit_counter;
-    cur_visit := !visit_counter;
-    cur_idx := 0;
+    cur_label := label;
+    cur_blk := blk;
+    next_visit ();
     fetch_halted := false;
     redirect_stall := 1 + model.Machine_model.transition_penalty;
     flush_cycle := true
@@ -382,52 +515,56 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
     let v i =
       match e.srcs.(i) with Ready v -> v | Wait _ -> assert false
     in
-    match e.payload with
-    | Pbranch { if_true; if_false; predicted } ->
-        let taken = v 0 <> 0 in
-        e.result <- (if taken then 1 else 0);
-        e.state <- Done;
-        train e.label taken;
-        if taken <> predicted then
-          mispredict_flush pos ~target:(if taken then if_true else if_false)
-    | Pop op ->
-        (match op with
-        | Instr.Alu { op = aop; _ } -> (
-            match Opcode.eval_alu aop (v 0) (v 1) with
-            | r -> e.result <- r
-            | exception Opcode.Arithmetic_fault m ->
-                e.result <- 0;
-                e.fault <- Some (Fault.Arith m);
-                eev Events.Fault_deferred ~a:(-1) ~b:0)
-        | Instr.Mov _ | Instr.Out _ -> e.result <- v 0
-        | Instr.Cmp { op = cop; _ } | Instr.Setc { op = cop; _ } ->
-            e.result <- (if Opcode.eval_cmp cop (v 0) (v 1) then 1 else 0)
-        | Instr.Nop -> e.result <- 0
-        | Instr.Load { off; _ } -> (
-            let addr = v 0 + off in
-            e.addr <- addr;
-            match forward_from_store pos addr with
-            | Some fv ->
-                e.result <- fv;
-                incr loads_forwarded
-            | None -> (
-                match Memory.read mem addr with
-                | value -> e.result <- value
-                | exception Memory.Fault f ->
-                    e.result <- 0;
-                    e.fault <- Some (Fault.Mem f);
-                    eev Events.Fault_deferred ~a:addr ~b:0))
-        | Instr.Store { off; _ } -> (
-            let addr = v 0 + off in
-            e.addr <- addr;
-            e.result <- v 1;
-            match Memory.probe mem addr with
-            | None -> ()
-            | Some f ->
-                e.fault <- Some (Fault.Mem f);
-                eev Events.Fault_deferred ~a:addr ~b:0));
-        e.state <- Done;
-        (match Instr.defs op with [ _ ] -> broadcast slot e.result | _ -> ())
+    if e.kind = branch_class then begin
+      let taken = v 0 <> 0 in
+      e.result <- (if taken then 1 else 0);
+      e.state <- Done;
+      train e taken;
+      if taken <> e.predicted then
+        mispredict_flush pos
+          ~label:(if taken then e.if_true else e.if_false)
+          ~blk:(if taken then e.t_true else e.t_false)
+    end
+    else begin
+      (* dense dispatch on the Decoded class tags:
+         0 alu, 1 mov, 2 load, 3 store, 4 cmp, 5 setc, 6 out, 7 nop *)
+      (match e.kind with
+      | 0 -> (
+          match Opcode.eval_alu e.alu (v 0) (v 1) with
+          | r -> e.result <- r
+          | exception Opcode.Arithmetic_fault m ->
+              e.result <- 0;
+              e.fault <- Some (Fault.Arith m);
+              eev Events.Fault_deferred ~a:(-1) ~b:0)
+      | 1 | 6 -> e.result <- v 0
+      | 4 | 5 -> e.result <- (if Opcode.eval_cmp e.cmp (v 0) (v 1) then 1 else 0)
+      | 2 -> (
+          let addr = v 0 + e.aux in
+          e.addr <- addr;
+          match forward_from_store pos addr with
+          | Some fv ->
+              e.result <- fv;
+              incr loads_forwarded
+          | None -> (
+              match Memory.read mem addr with
+              | value -> e.result <- value
+              | exception Memory.Fault f ->
+                  e.result <- 0;
+                  e.fault <- Some (Fault.Mem f);
+                  eev Events.Fault_deferred ~a:addr ~b:0))
+      | 3 -> (
+          let addr = v 0 + e.aux in
+          e.addr <- addr;
+          e.result <- v 1;
+          match Memory.probe mem addr with
+          | None -> ()
+          | Some f ->
+              e.fault <- Some (Fault.Mem f);
+              eev Events.Fault_deferred ~a:addr ~b:0)
+      | _ (* nop *) -> e.result <- 0);
+      e.state <- Done;
+      if has_reg_dst e.kind then broadcast slot e.result
+    end
   in
   let complete_cycle () =
     let k = ref 0 in
@@ -457,34 +594,33 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
               (function Ready _ -> true | Wait _ -> false)
               e.srcs
           in
-          if ready then begin
-            match e.payload with
-            | Pbranch _ ->
-                if !br > 0 then begin
-                  decr br;
-                  e.state <- Exec model.Machine_model.int_latency
-                end
-            | Pop op ->
-                let unit =
-                  match Machine_model.unit_of_op op with
-                  | Machine_model.Load_unit -> ld
-                  | Machine_model.Store_unit -> st
-                  | Machine_model.Alu_unit | Machine_model.Branch_unit -> alu
-                in
-                (* total store-queue disambiguation: a load waits until
-                   every older store has resolved its address *)
-                let blocked =
-                  match op with Instr.Load _ -> !pending_store | _ -> false
-                in
-                if (not blocked) && !unit > 0 then begin
-                  decr unit;
-                  e.state <- Exec (Machine_model.latency model op)
-                end
-          end
+          if ready then
+            if e.kind = branch_class then begin
+              if !br > 0 then begin
+                decr br;
+                e.state <- Exec model.Machine_model.int_latency
+              end
+            end
+            else begin
+              let unit =
+                if e.kind = Decoded.kload then ld
+                else if e.kind = Decoded.kstore then st
+                else alu
+              in
+              (* total store-queue disambiguation: a load waits until
+                 every older store has resolved its address *)
+              let blocked = e.kind = Decoded.kload && !pending_store in
+              if (not blocked) && !unit > 0 then begin
+                decr unit;
+                e.state <-
+                  Exec
+                    (if e.kind = Decoded.kload then
+                       model.Machine_model.load_latency
+                     else model.Machine_model.int_latency)
+              end
+            end
       | Exec _ | Done -> ());
-      match e.payload with
-      | Pop (Instr.Store _) when e.state <> Done -> pending_store := true
-      | _ -> ()
+      if e.kind = Decoded.kstore && e.state <> Done then pending_store := true
     done
   in
   (* ----- commit ----- *)
@@ -505,6 +641,7 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
     head := 0;
     Array.fill rmap 0 nregs (-1);
     cur_label := e.label;
+    cur_blk := e.blk;
     cur_idx := e.idx;
     cur_visit := e.visit;
     fetch_halted := false;
@@ -545,41 +682,30 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
             commit_fault e f;
             stop := true
         | None ->
-            let is_store =
-              match e.payload with
-              | Pop (Instr.Store _) -> true
-              | _ -> false
-            in
+            let is_store = e.kind = Decoded.kstore in
             if is_store && !st_budget <= 0 then stop := true
             else begin
               if e.visit <> !last_committed_visit then begin
                 last_committed_visit := e.visit;
                 eev Events.Region_enter ~a:(region_id e.label) ~b:0
               end;
-              (match e.payload with
-              | Pop op ->
-                  (match op with
-                  | Instr.Store _ ->
-                      Memory.write mem e.addr e.result;
-                      decr st_budget
-                  | Instr.Out _ -> output_rev := e.result :: !output_rev
-                  | Instr.Setc { dst; _ } ->
-                      conds.(Cond.index dst) <- e.result <> 0
-                  | Instr.Nop -> ()
-                  | Instr.Alu { dst; _ }
-                  | Instr.Mov { dst; _ }
-                  | Instr.Load { dst; _ }
-                  | Instr.Cmp { dst; _ } ->
-                      let ri = Reg.index dst in
-                      arch.(ri) <- e.result;
-                      written.(ri) <- true;
-                      if rmap.(ri) = slot then rmap.(ri) <- -1);
-                  class_counts.(class_index op) <-
-                    class_counts.(class_index op) + 1
-              | Pbranch _ ->
-                  incr branches;
-                  class_counts.(branch_class) <-
-                    class_counts.(branch_class) + 1);
+              if e.kind = branch_class then incr branches
+              else if is_store then begin
+                Memory.write mem e.addr e.result;
+                decr st_budget
+              end
+              else if e.kind = Decoded.kout then
+                output_rev := e.result :: !output_rev
+              else if e.kind = Decoded.ksetc then
+                conds.(e.dst) <- e.result <> 0
+              else if e.kind <> Decoded.knop then begin
+                (* alu / mov / load / cmp: architectural writeback *)
+                let ri = e.dst in
+                arch.(ri) <- e.result;
+                written.(ri) <- true;
+                if rmap.(ri) = slot then rmap.(ri) <- -1
+              end;
+              class_counts.(e.kind) <- class_counts.(e.kind) + 1;
               eev Events.Rob_commit ~a:e.seq ~b:slot;
               incr committed;
               incr ncommitted;
@@ -594,9 +720,7 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
     !count > 0
     &&
     let e = entry_at 0 in
-    match e.payload with
-    | Pop (Instr.Load _ | Instr.Store _) -> e.state <> Done
-    | _ -> false
+    (e.kind = Decoded.kload || e.kind = Decoded.kstore) && e.state <> Done
   in
   let finish outcome =
     let breakdown =
@@ -694,6 +818,6 @@ let run ?(fuel = default_fuel) ?events ?metrics ~model ~regs ~mem program =
   try loop () with
   | Halted_exn -> finish Interp.Halted
   | Abort f -> finish (Interp.Fatal f)
-  | Fuel_exhausted -> finish Interp.Out_of_fuel
+  | Fuel_exhausted -> finish (Interp.Out_of_fuel)
 
 let cycles ~model ~regs ~mem program = (run ~model ~regs ~mem program).cycles

@@ -11,7 +11,8 @@ let class_of (op : Instr.op) =
   | Instr.Out _ -> "out"
   | Instr.Nop -> "nop"
 
-let run ?fuel ?record_trace ?observer ?events ?metrics ~regs ~mem program =
+let run ?fuel ?record_trace ?kernel ?decoded ?observer ?events ?metrics ~regs
+    ~mem program =
   (* The scalar machine never speculates, so its event stream is just the
      block timeline: one [Region_enter] per block entered (block labels
      interned), stamped with the scalar cycle count. *)
@@ -23,7 +24,9 @@ let run ?fuel ?record_trace ?observer ?events ?metrics ~regs ~mem program =
       events
   in
   match metrics with
-  | None -> Interp.run ?fuel ?record_trace ?observer ?on_block ~regs ~mem program
+  | None ->
+      Interp.run ?fuel ?record_trace ?kernel ?decoded ?observer ?on_block ~regs
+        ~mem program
   | Some m ->
       let open Psb_obs.Metrics in
       let count op addr =
@@ -32,8 +35,8 @@ let run ?fuel ?record_trace ?observer ?events ?metrics ~regs ~mem program =
         match observer with Some f -> f op addr | None -> ()
       in
       let r =
-        Interp.run ?fuel ?record_trace ~observer:count ?on_block ~regs ~mem
-          program
+        Interp.run ?fuel ?record_trace ?kernel ?decoded ~observer:count
+          ?on_block ~regs ~mem program
       in
       inc (counter m "scalar_cycles_total") ~by:r.Interp.cycles;
       inc (counter m "scalar_dyn_instrs") ~by:r.Interp.dyn_instrs;

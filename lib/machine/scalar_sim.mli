@@ -10,6 +10,8 @@ open Psb_isa
 val run :
   ?fuel:int ->
   ?record_trace:bool ->
+  ?kernel:Scalar_kernel.mode ->
+  ?decoded:Decoded.t ->
   ?observer:(Instr.op -> int option -> unit) ->
   ?events:Psb_obs.Events.t ->
   ?metrics:Psb_obs.Metrics.t ->
@@ -24,7 +26,12 @@ val run :
 
     [events] records one [Region_enter] per block entered (the scalar
     machine never speculates, so its stream is just the block
-    timeline). *)
+    timeline).
+
+    [kernel]/[decoded] pass through to {!Psb_isa.Interp.run}: the
+    decoded flat-array engine is the default, and a prebuilt
+    {!Psb_isa.Decoded.t} lets repeated runs of one program decode
+    once. *)
 
 val cycles :
   regs:(Reg.t * int) list -> mem:Memory.t -> Program.t -> int

@@ -25,6 +25,19 @@ let staged stage f =
   | Failed _ as e -> raise e
   | e -> fail stage "raised %s" (Printexc.to_string e)
 
+(* Coarse per-stage wall-clock, accumulated into a caller-owned table
+   (one per trial under the fuzz pool — domains must not share one). *)
+let timed times bucket f =
+  match times with
+  | None -> f ()
+  | Some tbl ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect f ~finally:(fun () ->
+          let prev =
+            match Hashtbl.find_opt tbl bucket with Some v -> v | None -> 0.
+          in
+          Hashtbl.replace tbl bucket (prev +. Unix.gettimeofday () -. t0))
+
 let scalar_fuel = 500_000
 let vliw_fuel = 2_000_000
 
@@ -56,10 +69,13 @@ let compiled_equal (a : Driver.compiled) (b : Driver.compiled) =
        a.Driver.pcode b.Driver.pcode
 
 (* stage 1: the two scalar oracles must agree with each other *)
-let check_scalar (g : Gen.t) (reference : Interp.result) ref_mem =
+let check_scalar (g : Gen.t) ~decoded (reference : Interp.result) ref_mem =
   staged "interp-vs-scalar" (fun () ->
       let mem = Gen.make_mem g in
-      let s = Scalar_sim.run ~fuel:scalar_fuel ~regs:Gen.regs ~mem g.Gen.program in
+      let s =
+        Scalar_sim.run ~fuel:scalar_fuel ~record_trace:false ~decoded
+          ~regs:Gen.regs ~mem g.Gen.program
+      in
       if not (Interp.equivalent reference s) then
         fail "interp-vs-scalar" "interp %a / %s, scalar %a / %s"
           Interp.pp_outcome reference.Interp.outcome (pp_out reference.Interp.output)
@@ -76,12 +92,12 @@ let check_scalar (g : Gen.t) (reference : Interp.result) ref_mem =
    predicated-state buffering and reorder-buffer speculation are rival
    mechanisms for the same contract. The cycle-accounting breakdown must
    also sum exactly to the cycle count. *)
-let check_rob (g : Gen.t) (reference : Interp.result) ref_mem =
+let check_rob (g : Gen.t) ~decoded (reference : Interp.result) ref_mem =
   staged "rob-vs-interp" (fun () ->
       let mem = Gen.make_mem g in
       let r =
-        Rob_sim.run ~fuel:rob_fuel ~model:Machine_model.base ~regs:Gen.regs
-          ~mem g.Gen.program
+        Rob_sim.run ~fuel:rob_fuel ~decoded ~model:Machine_model.base
+          ~regs:Gen.regs ~mem g.Gen.program
       in
       if not (outcomes_match reference.Interp.outcome r.Rob_sim.outcome) then
         fail "rob-vs-interp" "interp %a, rob %a" Interp.pp_outcome
@@ -100,7 +116,82 @@ let check_rob (g : Gen.t) (reference : Interp.result) ref_mem =
       let bd = Rob_sim.breakdown_total r.Rob_sim.breakdown in
       if bd <> r.Rob_sim.cycles then
         fail "rob-vs-interp" "breakdown sums to %d but cycles = %d" bd
-          r.Rob_sim.cycles)
+          r.Rob_sim.cycles;
+      r)
+
+(* stage 1b: the two interpreter kernels must agree on everything the
+   result carries — cycles, dynamic instructions, block trace, faults *)
+let check_scalar_kernels (g : Gen.t) ~decoded =
+  staged "scalar-decoded-vs-tree" (fun () ->
+      let mem_d = Gen.make_mem g in
+      let d =
+        Interp.run ~fuel:scalar_fuel ~kernel:Scalar_kernel.Decoded ~decoded
+          ~regs:Gen.regs ~mem:mem_d g.Gen.program
+      in
+      let mem_t = Gen.make_mem g in
+      let t =
+        Interp.run ~fuel:scalar_fuel ~kernel:Scalar_kernel.Tree ~regs:Gen.regs
+          ~mem:mem_t g.Gen.program
+      in
+      if not (outcomes_match d.Interp.outcome t.Interp.outcome) then
+        fail "scalar-decoded-vs-tree" "decoded %a, tree %a" Interp.pp_outcome
+          d.Interp.outcome Interp.pp_outcome t.Interp.outcome;
+      if d.Interp.output <> t.Interp.output then
+        fail "scalar-decoded-vs-tree" "output %s vs %s" (pp_out d.Interp.output)
+          (pp_out t.Interp.output);
+      if d.Interp.cycles <> t.Interp.cycles then
+        fail "scalar-decoded-vs-tree" "cycles %d vs %d" d.Interp.cycles
+          t.Interp.cycles;
+      if d.Interp.dyn_instrs <> t.Interp.dyn_instrs then
+        fail "scalar-decoded-vs-tree" "dyn_instrs %d vs %d" d.Interp.dyn_instrs
+          t.Interp.dyn_instrs;
+      if
+        not
+          (List.equal Label.equal d.Interp.block_trace t.Interp.block_trace)
+      then fail "scalar-decoded-vs-tree" "block traces differ";
+      if not (Reg.Map.equal Int.equal d.Interp.regs t.Interp.regs) then
+        fail "scalar-decoded-vs-tree" "final registers differ";
+      if d.Interp.faults_handled <> t.Interp.faults_handled then
+        fail "scalar-decoded-vs-tree" "faults handled %d vs %d"
+          d.Interp.faults_handled t.Interp.faults_handled;
+      if not (Memory.equal mem_d mem_t) then
+        fail "scalar-decoded-vs-tree" "final memory differs")
+
+(* stage 2b: the two ROB fetch frontends must be cycle-, stat- and
+   breakdown-identical, not just architecturally equal *)
+let check_rob_kernels (g : Gen.t) (d : Rob_sim.result) =
+  staged "rob-decoded-vs-tree" (fun () ->
+      let mem = Gen.make_mem g in
+      let t =
+        Rob_sim.run ~fuel:rob_fuel ~kernel:Scalar_kernel.Tree
+          ~model:Machine_model.base ~regs:Gen.regs ~mem g.Gen.program
+      in
+      if not (outcomes_match d.Rob_sim.outcome t.Rob_sim.outcome) then
+        fail "rob-decoded-vs-tree" "decoded %a, tree %a" Interp.pp_outcome
+          d.Rob_sim.outcome Interp.pp_outcome t.Rob_sim.outcome;
+      if d.Rob_sim.output <> t.Rob_sim.output then
+        fail "rob-decoded-vs-tree" "output %s vs %s" (pp_out d.Rob_sim.output)
+          (pp_out t.Rob_sim.output);
+      if d.Rob_sim.cycles <> t.Rob_sim.cycles then
+        fail "rob-decoded-vs-tree" "cycles %d vs %d" d.Rob_sim.cycles
+          t.Rob_sim.cycles;
+      if d.Rob_sim.dyn_instrs <> t.Rob_sim.dyn_instrs then
+        fail "rob-decoded-vs-tree" "dyn_instrs %d vs %d" d.Rob_sim.dyn_instrs
+          t.Rob_sim.dyn_instrs;
+      if not (Reg.Map.equal Int.equal d.Rob_sim.regs t.Rob_sim.regs) then
+        fail "rob-decoded-vs-tree" "final registers differ";
+      if d.Rob_sim.faults_handled <> t.Rob_sim.faults_handled then
+        fail "rob-decoded-vs-tree" "faults handled %d vs %d"
+          d.Rob_sim.faults_handled t.Rob_sim.faults_handled;
+      if d.Rob_sim.stats <> t.Rob_sim.stats then
+        fail "rob-decoded-vs-tree"
+          "stats differ (decoded fetched=%d squashed=%d mispredicts=%d, tree \
+           fetched=%d squashed=%d mispredicts=%d)"
+          d.Rob_sim.stats.Rob_sim.fetched d.Rob_sim.stats.Rob_sim.squashed
+          d.Rob_sim.stats.Rob_sim.mispredicts t.Rob_sim.stats.Rob_sim.fetched
+          t.Rob_sim.stats.Rob_sim.squashed t.Rob_sim.stats.Rob_sim.mispredicts;
+      if d.Rob_sim.breakdown <> t.Rob_sim.breakdown then
+        fail "rob-decoded-vs-tree" "cycle-accounting breakdowns differ")
 
 let run_vliw ?pred_kernel ?exec_kernel (compiled : Driver.compiled) ~mem =
   match compiled.Driver.pcode with
@@ -234,26 +325,42 @@ let check_cache (g : Gen.t) profile =
       if not (compiled_equal first fresh) then
         fail "cache" "cache hit differs structurally from cold compile")
 
-let check ?inject (g : Gen.t) =
+let check ?inject ?times (g : Gen.t) =
   try
+    (* decode once; every scalar and ROB stage below reuses the form *)
+    let decoded =
+      timed times "decode" (fun () ->
+          staged "decode" (fun () -> Decoded.of_program g.Gen.program))
+    in
     let scalar_mem = Gen.make_mem g in
     let scalar =
-      staged "interp" (fun () ->
-          Interp.run ~fuel:scalar_fuel ~regs:Gen.regs ~mem:scalar_mem
-            g.Gen.program)
+      timed times "interp" (fun () ->
+          staged "interp" (fun () ->
+              Interp.run ~fuel:scalar_fuel ~record_trace:false ~decoded
+                ~regs:Gen.regs ~mem:scalar_mem g.Gen.program))
     in
     if scalar.Interp.outcome = Interp.Out_of_fuel then Ok ()
     else begin
-      check_scalar g scalar scalar_mem;
-      check_rob g scalar scalar_mem;
+      timed times "scalar" (fun () ->
+          check_scalar g ~decoded scalar scalar_mem;
+          check_scalar_kernels g ~decoded);
+      timed times "rob" (fun () ->
+          let rob = check_rob g ~decoded scalar scalar_mem in
+          check_rob_kernels g rob);
       let profile =
-        staged "profile" (fun () ->
-            snd (Driver.profile_of g.Gen.program ~regs:Gen.regs
-                   ~mem:(Gen.make_mem g)))
+        timed times "profile" (fun () ->
+            staged "profile" (fun () ->
+                snd
+                  (Driver.profile_of g.Gen.program ~regs:Gen.regs
+                     ~mem:(Gen.make_mem g))))
       in
-      List.iter (check_model ?inject g scalar scalar_mem profile)
-        executable_models;
-      (match inject with None -> check_cache g profile | Some _ -> ());
+      timed times "models" (fun () ->
+          List.iter
+            (check_model ?inject g scalar scalar_mem profile)
+            executable_models);
+      (match inject with
+      | None -> timed times "cache" (fun () -> check_cache g profile)
+      | Some _ -> ());
       Ok ()
     end
   with Failed f -> Error f

@@ -1,14 +1,22 @@
 (** Whole-pipeline differential driver.
 
-    One generated program, every stage boundary checked:
+    One generated program, every stage boundary checked. The program is
+    predecoded once ({!Psb_isa.Decoded.of_program}) and the flat form is
+    shared by every scalar and ROB stage below:
 
     + the DSL-level reference ({!Psb_isa.Interp}) against the scalar
       baseline front-end ({!Psb_machine.Scalar_sim}) — outcome, output,
       cycles and final memory;
+    + the decoded interpreter kernel against the tree-walking one —
+      outcome, output, cycles, dynamic instructions, block trace, final
+      registers, handled-fault count and final memory, all exact;
     + the reference against the out-of-order reorder-buffer backend
       ({!Psb_machine.Rob_sim}) — outcome (same fatal fault), output,
       final registers, final memory, handled-fault count, and the
       cycle-accounting breakdown summing exactly to the cycle count;
+    + the ROB's decoded fetch frontend against its tree frontend —
+      cycles, stats and the accounting breakdown identical, not just
+      the architectural results;
     + for every executable {!Psb_compiler.Model}: compile (optionally
       with an {!Inject}ed miscompile), statically verify
       ({!Psb_verify.Verify}), then run the predicated code on the VLIW
@@ -29,7 +37,8 @@
 
 type failure = {
   stage : string;
-      (** [interp-vs-scalar], [rob-vs-interp], [compile], [verify],
+      (** [decode], [interp-vs-scalar], [scalar-decoded-vs-tree],
+          [rob-vs-interp], [rob-decoded-vs-tree], [compile], [verify],
           [vliw-vs-scalar], [mask-vs-map], [lowered-vs-tree], [cache],
           prefixed by the model name where model-specific *)
   detail : string;
@@ -37,7 +46,17 @@ type failure = {
 
 val pp_failure : failure -> string
 
-val check : ?inject:Inject.t -> Gen.t -> (unit, failure) result
+val check :
+  ?inject:Inject.t ->
+  ?times:(string, float) Hashtbl.t ->
+  Gen.t ->
+  (unit, failure) result
 (** Run the full stage chain on one program. With [inject], the bug is
     applied to every executable model's compiled code before the verify
-    and run stages — a healthy harness must then return [Error]. *)
+    and run stages — a healthy harness must then return [Error].
+
+    [times] accumulates coarse per-stage wall-clock seconds into the
+    given table (buckets: [decode], [interp], [scalar], [rob],
+    [profile], [models], [cache]) — the fuzz driver sums these across
+    trials for its throughput report. The table must not be shared
+    between domains; give each trial its own and merge. *)

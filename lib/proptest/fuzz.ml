@@ -29,7 +29,14 @@ type counterexample = {
   cx_shrink_steps : int;
 }
 
-type outcome = { tested : int; counterexamples : counterexample list }
+type outcome = {
+  tested : int;
+  counterexamples : counterexample list;
+  wall_s : float;
+  stage_seconds : (string * float) list;
+}
+
+let trials_per_second o = if o.wall_s > 0. then float_of_int o.tested /. o.wall_s else 0.
 
 let gen_trial cfg i =
   Gen.gen cfg.shape (Random.State.make [| 0x50FB; cfg.seed; i |])
@@ -58,35 +65,64 @@ let minimize cfg g failure =
   done;
   (!g, !failure, !steps)
 
+(* Per-trial stage timings live in a trial-local table (pool workers are
+   domains — no shared table) and are merged by the caller. *)
 let run_trial cfg i =
-  let g = gen_trial cfg i in
-  match Diff.check ?inject:cfg.inject g with
-  | Ok () -> None
-  | Error f ->
-      let g, f, steps =
-        if cfg.shrink then minimize cfg g f else (g, f, 0)
-      in
-      Some
-        {
-          cx_trial = i;
-          cx_stage = f.Diff.stage;
-          cx_detail = f.Diff.detail;
-          cx_program = g;
-          cx_shrink_steps = steps;
-        }
+  let times : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let bucket name f =
+    let t0 = Unix.gettimeofday () in
+    Fun.protect f ~finally:(fun () ->
+        let prev =
+          match Hashtbl.find_opt times name with Some v -> v | None -> 0.
+        in
+        Hashtbl.replace times name (prev +. Unix.gettimeofday () -. t0))
+  in
+  let g = bucket "gen" (fun () -> gen_trial cfg i) in
+  let cx =
+    match Diff.check ?inject:cfg.inject ~times g with
+    | Ok () -> None
+    | Error f ->
+        let g, f, steps =
+          if cfg.shrink then
+            bucket "shrink" (fun () -> minimize cfg g f)
+          else (g, f, 0)
+        in
+        Some
+          {
+            cx_trial = i;
+            cx_stage = f.Diff.stage;
+            cx_detail = f.Diff.detail;
+            cx_program = g;
+            cx_shrink_steps = steps;
+          }
+  in
+  (cx, Hashtbl.fold (fun k v acc -> (k, v) :: acc) times [])
 
 let run ?pool ?on_progress cfg =
+  let t_start = Unix.gettimeofday () in
   let batch_size =
     match pool with Some p -> max 1 (4 * Pool.jobs p) | None -> 16
   in
   let tested = ref 0 and found = ref [] in
+  let stage_tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let merge_times l =
+    List.iter
+      (fun (k, v) ->
+        let prev =
+          match Hashtbl.find_opt stage_tbl k with Some v -> v | None -> 0.
+        in
+        Hashtbl.replace stage_tbl k (prev +. v))
+      l
+  in
   let report_batch results =
     List.iter
       (fun r ->
         incr tested;
         match r with
-        | Ok None -> ()
-        | Ok (Some cx) -> found := cx :: !found
+        | Ok (None, times) -> merge_times times
+        | Ok (Some cx, times) ->
+            merge_times times;
+            found := cx :: !found
         | Error (i, e) ->
             found :=
               {
@@ -127,7 +163,16 @@ let run ?pool ?on_progress cfg =
     in
     report_batch results
   done;
-  { tested = !tested; counterexamples = List.rev !found }
+  let stage_seconds =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) stage_tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    tested = !tested;
+    counterexamples = List.rev !found;
+    wall_s = Unix.gettimeofday () -. t_start;
+    stage_seconds;
+  }
 
 let limits_fleet ?(n = 8) ?(shape = Gen.default_shape) ~seed () =
   let st = Random.State.make [| 0x50FB; seed |] in

@@ -33,7 +33,15 @@ type counterexample = {
 type outcome = {
   tested : int;
   counterexamples : counterexample list;  (** in trial order *)
+  wall_s : float;  (** campaign wall-clock, batching and sharding included *)
+  stage_seconds : (string * float) list;
+      (** cumulative per-stage seconds summed across all trials, largest
+          first — {!Diff.check}'s buckets plus [gen] and [shrink]. Under a
+          pool this is cross-domain CPU time, so it can exceed [wall_s]. *)
 }
+
+val trials_per_second : outcome -> float
+(** [tested /. wall_s] (0 when the campaign did no timed work). *)
 
 val gen_trial : config -> int -> Gen.t
 (** The program for one trial index (deterministic in [seed] and index). *)

@@ -9,6 +9,7 @@ open Psb_isa
 open Psb_compiler
 module Machine_model = Psb_machine.Machine_model
 module Vliw_sim = Psb_machine.Vliw_sim
+module Rob_sim = Psb_machine.Rob_sim
 
 open Gen_programs
 
@@ -361,6 +362,125 @@ let test_exec_kernel_suite_identity () =
         executable_models)
     Suite.all
 
+(* ----- scalar-kernel identity -----
+
+   The predecoded flat form ([Decoded.of_program]) and the tree-walking
+   reference must be indistinguishable on both scalar backends (the
+   interpreter and the ROB machine): decoding preresolves operands and
+   branch targets, but may never change semantics, cycle charging,
+   traces, fault handling or the pipeline accounting. *)
+
+let scalar_results_agree (a : Interp.result) (b : Interp.result) =
+  outcomes_match a.Interp.outcome b.Interp.outcome
+  && a.Interp.output = b.Interp.output
+  && a.Interp.cycles = b.Interp.cycles
+  && a.Interp.dyn_instrs = b.Interp.dyn_instrs
+  && List.equal Label.equal a.Interp.block_trace b.Interp.block_trace
+  && Reg.Map.equal Int.equal a.Interp.regs b.Interp.regs
+  && a.Interp.faults_handled = b.Interp.faults_handled
+
+let run_both_scalar_kernels ~decoded ~regs ~mem_of program =
+  let run kernel mem =
+    Interp.run ~fuel:500_000 ~kernel ~decoded ~regs ~mem program
+  in
+  let dec_mem = mem_of () and tree_mem = mem_of () in
+  ( (run Scalar_kernel.Decoded dec_mem, dec_mem),
+    (run Scalar_kernel.Tree tree_mem, tree_mem) )
+
+let scalar_kernel_identity =
+  QCheck.Test.make ~name:"decoded interp = tree interp (cycle-exact)"
+    ~count:200 arb_program (fun g ->
+      let decoded = Decoded.of_program g.program in
+      let (dec, dec_mem), (tree, tree_mem) =
+        run_both_scalar_kernels ~decoded ~regs
+          ~mem_of:(fun () -> make_mem g) g.program
+      in
+      if not (scalar_results_agree dec tree && Memory.equal dec_mem tree_mem)
+      then
+        QCheck.Test.fail_reportf
+          "scalar kernels diverged: decoded %a / %d cycles / %d instrs, tree \
+           %a / %d cycles / %d instrs"
+          Interp.pp_outcome dec.Interp.outcome dec.Interp.cycles
+          dec.Interp.dyn_instrs Interp.pp_outcome tree.Interp.outcome
+          tree.Interp.cycles tree.Interp.dyn_instrs;
+      true)
+
+let run_both_rob_kernels ~decoded ~regs ~mem_of program =
+  let run kernel mem =
+    Rob_sim.run ~kernel ~decoded ~model:Machine_model.base ~regs ~mem program
+  in
+  let dec_mem = mem_of () and tree_mem = mem_of () in
+  ( (run Scalar_kernel.Decoded dec_mem, dec_mem),
+    (run Scalar_kernel.Tree tree_mem, tree_mem) )
+
+let rob_results_agree (a : Rob_sim.result) (b : Rob_sim.result) =
+  outcomes_match a.Rob_sim.outcome b.Rob_sim.outcome
+  && a.Rob_sim.output = b.Rob_sim.output
+  && a.Rob_sim.cycles = b.Rob_sim.cycles
+  && a.Rob_sim.dyn_instrs = b.Rob_sim.dyn_instrs
+  && Reg.Map.equal Int.equal a.Rob_sim.regs b.Rob_sim.regs
+  && a.Rob_sim.faults_handled = b.Rob_sim.faults_handled
+  && a.Rob_sim.stats = b.Rob_sim.stats
+  && a.Rob_sim.breakdown = b.Rob_sim.breakdown
+
+let rob_kernel_identity =
+  QCheck.Test.make ~name:"decoded rob = tree rob (cycle-exact)" ~count:120
+    arb_program (fun g ->
+      let decoded = Decoded.of_program g.program in
+      let (dec, dec_mem), (tree, tree_mem) =
+        run_both_rob_kernels ~decoded ~regs ~mem_of:(fun () -> make_mem g)
+          g.program
+      in
+      if not (rob_results_agree dec tree && Memory.equal dec_mem tree_mem)
+      then
+        QCheck.Test.fail_reportf
+          "rob kernels diverged: decoded %a / %d cycles, tree %a / %d cycles"
+          Interp.pp_outcome dec.Rob_sim.outcome dec.Rob_sim.cycles
+          Interp.pp_outcome tree.Rob_sim.outcome tree.Rob_sim.cycles;
+      true)
+
+let test_scalar_kernel_suite_identity () =
+  let open Psb_workloads in
+  List.iter
+    (fun (w : Dsl.t) ->
+      let decoded = Decoded.of_program w.Dsl.program in
+      let (dec, dec_mem), (tree, tree_mem) =
+        run_both_scalar_kernels ~decoded ~regs:w.Dsl.regs
+          ~mem_of:w.Dsl.make_mem w.Dsl.program
+      in
+      Alcotest.(check bool)
+        (w.Dsl.name ^ " results agree")
+        true
+        (scalar_results_agree dec tree);
+      Alcotest.(check int) (w.Dsl.name ^ " cycles") tree.Interp.cycles
+        dec.Interp.cycles;
+      Alcotest.(check bool)
+        (w.Dsl.name ^ " memory equal")
+        true
+        (Memory.equal dec_mem tree_mem))
+    Suite.all
+
+let test_rob_kernel_suite_identity () =
+  let open Psb_workloads in
+  List.iter
+    (fun (w : Dsl.t) ->
+      let decoded = Decoded.of_program w.Dsl.program in
+      let (dec, dec_mem), (tree, tree_mem) =
+        run_both_rob_kernels ~decoded ~regs:w.Dsl.regs ~mem_of:w.Dsl.make_mem
+          w.Dsl.program
+      in
+      Alcotest.(check bool)
+        (w.Dsl.name ^ " results agree")
+        true
+        (rob_results_agree dec tree);
+      Alcotest.(check int) (w.Dsl.name ^ " cycles") tree.Rob_sim.cycles
+        dec.Rob_sim.cycles;
+      Alcotest.(check bool)
+        (w.Dsl.name ^ " memory equal")
+        true
+        (Memory.equal dec_mem tree_mem))
+    Suite.all
+
 let asm_roundtrip =
   QCheck.Test.make ~name:"asm print/parse round-trips" ~count:200
     Gen_programs.arb_program (fun g ->
@@ -383,6 +503,8 @@ let () =
             infinite_shadow_agrees;
             pred_kernel_identity;
             exec_kernel_identity;
+            scalar_kernel_identity;
+            rob_kernel_identity;
             asm_roundtrip;
           ] );
       ( "pred-kernel",
@@ -394,6 +516,16 @@ let () =
         [
           Alcotest.test_case "whole suite cycle-exact (all models)" `Quick
             test_exec_kernel_suite_identity;
+        ] );
+      ( "scalar-kernel",
+        [
+          Alcotest.test_case "whole suite cycle-exact" `Quick
+            test_scalar_kernel_suite_identity;
+        ] );
+      ( "rob-kernel",
+        [
+          Alcotest.test_case "whole suite cycle-exact" `Quick
+            test_rob_kernel_suite_identity;
         ] );
       ( "parallel",
         [

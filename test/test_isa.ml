@@ -341,6 +341,74 @@ let test_interp_div_fault () =
   | Interp.Fatal (Fault.Arith _) -> ()
   | o -> Alcotest.failf "expected arith fault, got %a" Interp.pp_outcome o
 
+(* With the trace off and the decoded kernel, the interpreter's hot
+   loop must not allocate per dynamic instruction or per block entered:
+   the same count-down loop run for 100x the iterations may not cost
+   meaningfully more minor words (a recorded trace alone is multiple
+   words per block entered, which the trace-on control run pins). *)
+let minor_words_of f =
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_interp_no_trace_no_alloc () =
+  let program =
+    Program.make ~entry:(lbl "head")
+      [
+        Program.block (lbl "head")
+          [
+            Instr.Alu
+              {
+                op = Opcode.Sub;
+                dst = reg 1;
+                a = Operand.reg (reg 1);
+                b = Operand.imm 1;
+              };
+            Instr.Cmp
+              {
+                op = Opcode.Gt;
+                dst = reg 2;
+                a = Operand.reg (reg 1);
+                b = Operand.imm 0;
+              };
+          ]
+          (Instr.Br { src = reg 2; if_true = lbl "head"; if_false = lbl "done" });
+        Program.block (lbl "done") [] Instr.Halt;
+      ]
+  in
+  let decoded = Decoded.of_program program in
+  let mem = Memory.create ~size:16 in
+  let go ~record_trace n =
+    (* pin the decoded kernel: the no-allocation guarantee is specific to
+       the flat form, so this test must not inherit PSB_SCALAR_KERNEL *)
+    Interp.run ~record_trace ~kernel:Scalar_kernel.Decoded ~decoded
+      ~regs:[ (reg 1, n) ]
+      ~mem program
+  in
+  (* warm up so any one-time setup is off the measurement *)
+  ignore (go ~record_trace:false 10);
+  let small = minor_words_of (fun () -> ignore (go ~record_trace:false 1_000)) in
+  let large =
+    minor_words_of (fun () -> ignore (go ~record_trace:false 100_000))
+  in
+  check_bool
+    (Printf.sprintf
+       "no per-iteration allocation with the trace off (%.0f -> %.0f words)"
+       small large)
+    true
+    (large -. small < 4096.);
+  (* control: with the trace on, allocation does scale with the blocks
+     entered — the delta above really is the trace cells' absence *)
+  let traced =
+    minor_words_of (fun () -> ignore (go ~record_trace:true 100_000))
+  in
+  check_bool
+    (Printf.sprintf "trace-on control allocates per block (%.0f words)" traced)
+    true
+    (traced -. large > 100_000.);
+  let r = go ~record_trace:false 5 in
+  check_bool "trace suppressed" true (r.Interp.block_trace = [])
+
 (* ---------- Trace ---------- *)
 
 let test_trace_counts () =
@@ -497,6 +565,8 @@ let () =
           Alcotest.test_case "fatal fault" `Quick test_interp_fatal_fault;
           Alcotest.test_case "recoverable fault" `Quick test_interp_recoverable_fault;
           Alcotest.test_case "div fault" `Quick test_interp_div_fault;
+          Alcotest.test_case "no trace, no per-block allocation" `Quick
+            test_interp_no_trace_no_alloc;
         ] );
       ( "trace",
         [

@@ -1449,6 +1449,196 @@ let prop_rob_matches_interp =
           && s.Interp.faults_handled = r.Rob_sim.faults_handled
           && Rob_sim.breakdown_total r.Rob_sim.breakdown = r.Rob_sim.cycles)
 
+(* ---------- predecoded scalar form (Scalar_kernel) ---------- *)
+
+(* Decoded/tree cycle-exactness on hand-written edge shapes, on both
+   scalar backends (interpreter and ROB); the broad random coverage
+   lives in the differential suite and the fuzzer. *)
+
+let run_both_scalar ?fuel ?(mem_of = fun () -> Memory.create ~size:64) program
+    =
+  let decoded = Decoded.of_program program in
+  let run kernel =
+    let mem = mem_of () in
+    (Interp.run ?fuel ~kernel ~decoded ~regs:[] ~mem program, mem)
+  in
+  (run Scalar_kernel.Decoded, run Scalar_kernel.Tree)
+
+let check_scalar_identical name ((dec, dmem), (tree, tmem)) =
+  check_bool (name ^ ": outcome") true
+    (dec.Interp.outcome = tree.Interp.outcome);
+  Alcotest.(check (list int))
+    (name ^ ": output") tree.Interp.output dec.Interp.output;
+  check_int (name ^ ": cycles") tree.Interp.cycles dec.Interp.cycles;
+  check_int (name ^ ": dyn instrs") tree.Interp.dyn_instrs
+    dec.Interp.dyn_instrs;
+  check_bool (name ^ ": trace") true
+    (List.equal Label.equal tree.Interp.block_trace dec.Interp.block_trace);
+  check_bool (name ^ ": regs") true
+    (Reg.Map.equal Int.equal tree.Interp.regs dec.Interp.regs);
+  check_int (name ^ ": faults") tree.Interp.faults_handled
+    dec.Interp.faults_handled;
+  check_bool (name ^ ": memory") true (Memory.equal tmem dmem)
+
+let run_both_rob ?fuel ?(mem_of = fun () -> Memory.create ~size:64) program =
+  let decoded = Decoded.of_program program in
+  let run kernel =
+    let mem = mem_of () in
+    ( Rob_sim.run ?fuel ~kernel ~decoded ~model:Machine_model.base ~regs:[]
+        ~mem program,
+      mem )
+  in
+  (run Scalar_kernel.Decoded, run Scalar_kernel.Tree)
+
+let check_rob_identical name ((dec, dmem), (tree, tmem)) =
+  check_bool (name ^ ": outcome") true
+    (dec.Rob_sim.outcome = tree.Rob_sim.outcome);
+  Alcotest.(check (list int))
+    (name ^ ": output") tree.Rob_sim.output dec.Rob_sim.output;
+  check_int (name ^ ": cycles") tree.Rob_sim.cycles dec.Rob_sim.cycles;
+  check_bool (name ^ ": stats") true (tree.Rob_sim.stats = dec.Rob_sim.stats);
+  check_bool (name ^ ": breakdown") true
+    (tree.Rob_sim.breakdown = dec.Rob_sim.breakdown);
+  check_bool (name ^ ": regs") true
+    (Reg.Map.equal Int.equal tree.Rob_sim.regs dec.Rob_sim.regs);
+  check_bool (name ^ ": memory") true (Memory.equal tmem dmem)
+
+let test_decoded_empty_blocks () =
+  (* blocks with no operations at all — only terminators — including the
+     entry block; op_bounds must still be a valid (degenerate) CSR *)
+  let program =
+    Program.make ~entry:(lbl "entry")
+      [
+        Program.block (lbl "entry") [] (Instr.Jmp (lbl "mid"));
+        Program.block (lbl "mid") [] (Instr.Jmp (lbl "tail"));
+        Program.block (lbl "tail")
+          [ Instr.Mov { dst = reg 1; src = imm 7 }; Instr.Out (r 1) ]
+          Instr.Halt;
+      ]
+  in
+  let decoded = Decoded.of_program program in
+  check_int "entry has no ops" 0
+    (Decoded.block_ops decoded (Decoded.block_index decoded (lbl "entry")));
+  check_int "two flat ops in total" 2 (Decoded.num_ops decoded);
+  check_scalar_identical "empty-blocks" (run_both_scalar program);
+  check_rob_identical "empty-blocks/rob" (run_both_rob program)
+
+let test_decoded_fallthrough_only () =
+  (* a conditional whose both arms are op-less forwarding blocks that
+     reconverge — control flows through without touching the op arrays,
+     and the 2-bit predictor in the ROB frontend sees the branch *)
+  let program =
+    Asm.parse_exn
+      {|
+entry entry
+entry:
+  r1 = 0
+  jmp head
+head:
+  r2 = r1 < 3
+  br r2 ? stay : leave
+stay:
+  jmp body
+body:
+  r1 = add r1 1
+  out r1
+  jmp head
+leave:
+  jmp tail
+tail:
+  halt
+|}
+  in
+  check_scalar_identical "fallthrough-only" (run_both_scalar program);
+  check_rob_identical "fallthrough-only/rob" (run_both_rob program)
+
+let test_decoded_fault_on_first_instr () =
+  (* instruction 0 of the entry block faults before anything else ran:
+     recoverable on demand memory (handled, retried), fatal on a
+     negative address *)
+  let recoverable =
+    Program.make ~entry:(lbl "entry")
+      [
+        Program.block (lbl "entry")
+          [
+            Instr.Load { dst = reg 1; base = reg 0; off = 200 };
+            Instr.Out (r 1);
+          ]
+          Instr.Halt;
+      ]
+  in
+  let demand () = Memory.create_demand ~size:512 ~unmapped:(128, 384) in
+  let ((dec, _), _) as both =
+    run_both_scalar ~mem_of:demand recoverable
+  in
+  check_scalar_identical "fault-instr0" both;
+  check_int "fault was handled" 1 dec.Interp.faults_handled;
+  check_rob_identical "fault-instr0/rob"
+    (run_both_rob ~mem_of:demand recoverable);
+  let fatal =
+    Program.make ~entry:(lbl "entry")
+      [
+        Program.block (lbl "entry")
+          [ Instr.Load { dst = reg 1; base = reg 0; off = -4 } ]
+          Instr.Halt;
+      ]
+  in
+  let ((dec, _), _) as both = run_both_scalar fatal in
+  check_scalar_identical "fatal-instr0" both;
+  check_bool "run is fatal" true
+    (match dec.Interp.outcome with Interp.Fatal _ -> true | _ -> false);
+  check_rob_identical "fatal-instr0/rob" (run_both_rob fatal)
+
+let test_decoded_out_of_fuel_mid_block () =
+  (* the fuel runs dry in the middle of a block body: both kernels
+     sample the budget at block entry only, so both must overshoot to
+     exactly the same boundary, trace included *)
+  let body =
+    List.init 10 (fun i ->
+        Instr.Alu
+          { op = Opcode.Add; dst = reg 1; a = r 1; b = imm (i + 1) })
+  in
+  let program =
+    Program.make ~entry:(lbl "entry")
+      [ Program.block (lbl "entry") body (Instr.Jmp (lbl "entry")) ]
+  in
+  let ((dec, _), _) as both = run_both_scalar ~fuel:25 program in
+  check_scalar_identical "fuel-mid-block" both;
+  check_bool "actually out of fuel" true
+    (dec.Interp.outcome = Interp.Out_of_fuel);
+  check_bool "budget expired mid-block, stopped at the next boundary" true
+    (dec.Interp.dyn_instrs > 25);
+  (* the ROB's fuel is cycles, not instructions; parity must hold at
+     whatever point the budget expires *)
+  let ((dec, _), _) as rob_both = run_both_rob ~fuel:7 program in
+  check_rob_identical "fuel-mid-block/rob" rob_both;
+  check_bool "rob out of fuel" true
+    (dec.Rob_sim.outcome = Interp.Out_of_fuel)
+
+let test_decoded_stale_form_rejected () =
+  (* both scalar backends must reject a decoded form that was not built
+     from the exact program value (the driver-cache hazard: structural
+     equality is not enough) *)
+  let make () =
+    Program.make ~entry:(lbl "entry")
+      [ Program.block (lbl "entry") [ Instr.Out (imm 1) ] Instr.Halt ]
+  in
+  let program = make () in
+  let other = make () in
+  let stale = Decoded.of_program other in
+  (match
+     Interp.run ~kernel:Scalar_kernel.Decoded ~decoded:stale ~regs:[]
+       ~mem:(Memory.create ~size:64) program
+   with
+  | _ -> Alcotest.fail "interp accepted a stale decoded form"
+  | exception Invalid_argument _ -> ());
+  match
+    Rob_sim.run ~kernel:Scalar_kernel.Decoded ~decoded:stale
+      ~model:Machine_model.base ~regs:[] ~mem:(Memory.create ~size:64) program
+  with
+  | _ -> Alcotest.fail "rob accepted a stale decoded form"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "machine"
     [
@@ -1559,5 +1749,17 @@ let () =
             test_rob_spec_profile_reconciles;
           Qc.to_alcotest prop_rob_commit_monotone;
           Qc.to_alcotest prop_rob_matches_interp;
+        ] );
+      ( "decoded",
+        [
+          Alcotest.test_case "empty blocks" `Quick test_decoded_empty_blocks;
+          Alcotest.test_case "fallthrough-only blocks" `Quick
+            test_decoded_fallthrough_only;
+          Alcotest.test_case "fault on instruction 0" `Quick
+            test_decoded_fault_on_first_instr;
+          Alcotest.test_case "out of fuel mid-block" `Quick
+            test_decoded_out_of_fuel_mid_block;
+          Alcotest.test_case "stale form rejected" `Quick
+            test_decoded_stale_form_rejected;
         ] );
     ]

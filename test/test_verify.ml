@@ -289,18 +289,19 @@ let mutate (code : Pcode.t) =
             (fun i bundle -> if i = b then insert_after s bundle else bundle)
             r.Pcode.code
         in
-        Some ({ r with Pcode.code = code' }, b)
+        Some ({ r with Pcode.code = code' }, b, reg)
   in
   let rec go before = function
     | [] -> None
     | r :: rest -> (
         match try_region r with
-        | Some (r', b) ->
+        | Some (r', b, reg) ->
             Some
               ( Pcode.make ~entry:code.Pcode.entry
                   (List.rev_append before (r' :: rest)),
                 r.Pcode.name,
-                b )
+                b,
+                reg )
         | None -> go (r :: before) rest)
   in
   go [] code.Pcode.regions
@@ -325,17 +326,32 @@ let prop_shadow_overflow =
       &&
       match mutate code with
       | None -> true (* nothing speculative to overflow *)
-      | Some (code', rname, b) ->
+      | Some (code', rname, b, reg) ->
           let rejected =
             List.exists
               (fun (v : Verify.violation) -> v.Verify.check = Verify.Capacity)
               (Verify.run machine code').Verify.violations
           in
-          let reached = ref false in
+          (* The overflow is only dynamic when clone AND original both
+             issue speculatively in the same visit of the mutated bundle:
+             with any guarding condition already resolved, at most one of
+             the pair writes a shadow version (the other executes
+             non-speculatively or squashes) and there is nothing to flag —
+             the static verifier still rejects, conservatively. Op_issue
+             events follow their Bundle_issue, so count speculative
+             defs of the cloned register per bundle visit. *)
+          let in_site = ref false in
+          let site_writes = ref 0 in
+          let overflow = ref false in
           let on_event _ = function
-            | Vliw_sim.Bundle_issue { region; pc; _ }
-              when Label.equal region rname && pc = b ->
-                reached := true
+            | Vliw_sim.Bundle_issue { region; pc; _ } ->
+                in_site := Label.equal region rname && pc = b;
+                site_writes := 0
+            | Vliw_sim.Op_issue { op; spec = true; _ } when !in_site ->
+                if List.exists (Reg.equal reg) (Instr.defs op) then begin
+                  incr site_writes;
+                  if !site_writes >= 2 then overflow := true
+                end
             | _ -> ()
           in
           let flagged =
@@ -344,7 +360,7 @@ let prop_shadow_overflow =
                 ~mem:(Gen_programs.make_mem g) code'
             with
             | res ->
-                (not !reached)
+                (not !overflow)
                 || res.Vliw_sim.stats.Vliw_sim.shadow_conflicts > 0
             | exception Vliw_sim.Machine_error _ -> true
           in
